@@ -1,0 +1,125 @@
+// Command hybridemu runs a single hybrid-memory experiment on the
+// emulation platform and reports the measured iteration's PCM/DRAM
+// traffic, write rates, and PCM lifetime projection.
+//
+// Usage:
+//
+//	hybridemu -app lusearch -gc KG-W [-instances 4] [-dataset large]
+//	          [-mode emul|sim] [-native] [-l3mb 20] [-scale quick|std|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/jvm"
+	"repro/internal/lifetime"
+	"repro/internal/workloads"
+)
+
+func collectorByName(name string) (jvm.Kind, bool) {
+	for k := jvm.PCMOnly; k < jvm.NumKinds; k++ {
+		if strings.EqualFold(k.String(), name) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	app := flag.String("app", "lusearch", "benchmark name (see -list)")
+	gcName := flag.String("gc", "KG-W", "collector: PCM-Only, KG-N, KG-B, KG-N+LOO, KG-B+LOO, KG-W, KG-W-LOO, KG-W-MDO")
+	instances := flag.Int("instances", 1, "multiprogramming degree (1, 2, 4)")
+	dataset := flag.String("dataset", "default", "default or large")
+	mode := flag.String("mode", "emul", "emul or sim")
+	native := flag.Bool("native", false, "run the C++ implementation (GraphChi apps)")
+	l3mb := flag.Int("l3mb", 0, "override the shared L3 size in MB")
+	scale := flag.String("scale", "std", "input scale: quick, std, or full")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	scales := map[string]experiments.Scale{
+		"quick": experiments.Quick, "std": experiments.Std, "full": experiments.Full,
+	}
+	sc, ok := scales[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hybridemu: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	factory := experiments.Config{Scale: sc}.Factory()
+
+	if *list {
+		for _, n := range []string{"avrora", "bloat", "eclipse", "fop", "luindex",
+			"lusearch", "lu.Fix", "pmd", "pmd.S", "sunflow", "xalan", "pjbb", "PR", "CC", "ALS"} {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	kind, ok := collectorByName(*gcName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "hybridemu: unknown collector %q\n", *gcName)
+		os.Exit(2)
+	}
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	opts.AppFactory = factory
+	if *mode == "sim" {
+		opts.Mode = core.Simulation
+	}
+	if *l3mb > 0 {
+		opts.L3Bytes = *l3mb << 20
+	}
+	ds := workloads.Default
+	if *dataset == "large" {
+		ds = workloads.Large
+	}
+
+	res, err := core.Run(opts, core.RunSpec{
+		AppName:   *app,
+		Collector: kind,
+		Instances: *instances,
+		Dataset:   ds,
+		Native:    *native,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybridemu: %v\n", err)
+		os.Exit(1)
+	}
+
+	lang := "Java"
+	if *native {
+		lang = "C++"
+	}
+	fmt.Printf("%s %s x%d (%s, %s, %s scale)\n", lang, *app, *instances, kind, *mode, sc)
+	fmt.Printf("  measured iteration:  %.4f s\n", res.Seconds)
+	fmt.Printf("  PCM writes:          %d lines (%.2f MB)\n", res.PCMWriteLines, float64(res.PCMWriteBytes())/1e6)
+	fmt.Printf("  DRAM writes:         %d lines (%.2f MB)\n", res.DRAMWriteLines, float64(res.DRAMWriteBytes())/1e6)
+	fmt.Printf("  PCM write rate:      %.1f MB/s (recommended limit %.0f MB/s)\n",
+		res.PCMRateMBs(), lifetime.PaperRecommendedRateMBs())
+	fmt.Printf("  QPI traffic:         %d read / %d write lines\n", res.QPI.ReadLines, res.QPI.WriteLines)
+	if len(res.RuntimeStats) > 0 {
+		s := res.RuntimeStats[0]
+		fmt.Printf("  GCs (instance 0):    %d minor / %d observer / %d full\n",
+			s.MinorGCs, s.ObserverGCs, s.FullGCs)
+		fmt.Printf("  allocation:          %.1f MB in %d objects\n",
+			float64(s.AllocBytes)/1e6, s.AllocObjects)
+	}
+	for _, e := range []struct {
+		name string
+		v    float64
+	}{
+		{"10M writes/cell", lifetime.Prototype1Endurance},
+		{"30M writes/cell", lifetime.Prototype2Endurance},
+		{"50M writes/cell", lifetime.Prototype3Endurance},
+	} {
+		years := lifetime.YearsFromMBs(lifetime.DefaultPCMBytes, e.v, res.PCMRateMBs(),
+			lifetime.DefaultWearLevelingEfficiency)
+		fmt.Printf("  lifetime @ %s: %.0f years\n", e.name, years)
+	}
+}

@@ -1,0 +1,160 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation (Tables I–III, Figures 3–8) plus the ablation studies,
+// printing the same rows and series the paper reports. The output is
+// the raw material of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	paperfigs [-scale quick|std|full] [-seed N] [-only fig7,tableII,...]
+//
+// Scales: quick (CI-sized inputs), std (full DaCapo profiles, 1M-edge
+// graphs, 4x large datasets, 5-app DaCapo subset for the
+// multiprogrammed figures), full (the paper's sizes; slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "std", "input scale: quick, std, or full")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	only := flag.String("only", "", "comma-separated subset (tableI,tableII,tableIII,fig3,fig4,fig5,fig6,fig7,fig8,ablations)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "std":
+		sc = experiments.Std
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "paperfigs: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed})
+	fmt.Printf("# Paper evaluation regeneration (scale=%s, seed=%d)\n\n", sc, *seed)
+	start := time.Now()
+	step := func(name string, f func() (string, error)) {
+		if !sel(name) {
+			return
+		}
+		t0 := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	step("tableI", func() (string, error) { return experiments.RenderTableI(), nil })
+	step("tableII", func() (string, error) {
+		res, err := r.TableII()
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	})
+	step("fig3", func() (string, error) {
+		rows, err := r.Fig3()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig3(rows), nil
+	})
+	step("fig4", func() (string, error) {
+		res, err := r.Fig4()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig4(res), nil
+	})
+	step("fig5", func() (string, error) {
+		res, err := r.Fig5()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig5(res), nil
+	})
+	step("fig6", func() (string, error) {
+		rows, rec, err := r.Fig6()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig6(rows, rec), nil
+	})
+	step("fig7", func() (string, error) {
+		rows, err := r.Fig7()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig7(rows), nil
+	})
+	step("fig8", func() (string, error) {
+		rows, err := r.Fig8()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig8(rows), nil
+	})
+	step("tableIII", func() (string, error) {
+		res, err := r.TableIII()
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	})
+	step("ablations", func() (string, error) {
+		var b strings.Builder
+		l3, err := r.AblationL3([]int{4, 20})
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(l3.Render())
+		b.WriteByte('\n')
+		obs, err := r.AblationObserver([]int{1, 2, 4}, "pmd")
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(obs.Render())
+		b.WriteByte('\n')
+		nur, err := r.AblationNursery([]int{4, 32})
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(nur.Render())
+		b.WriteByte('\n')
+		mon, err := r.AblationMonitorSocket("pmd")
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(mon.Render())
+		b.WriteByte('\n')
+		fl, err := r.AblationFreeLists("pmd")
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(fl.Render())
+		return b.String(), nil
+	})
+	fmt.Printf("# total: %s\n", time.Since(start).Round(time.Second))
+}

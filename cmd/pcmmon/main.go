@@ -1,0 +1,95 @@
+// Command pcmmon demonstrates the platform's pcm-memory-style
+// write-rate monitor: it runs one benchmark under a chosen collector
+// and prints the per-interval DRAM and PCM write-rate series the
+// monitor sampled, followed by the measured-iteration summary.
+//
+// Usage:
+//
+//	pcmmon -app xalan -gc PCM-Only [-period 10ms-in-seconds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/jvm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/pcmmon"
+	"repro/internal/workloads"
+)
+
+func main() {
+	appName := flag.String("app", "xalan", "benchmark name")
+	gcName := flag.String("gc", "PCM-Only", "collector configuration")
+	period := flag.Float64("period", 0.01, "sampling period in simulated seconds")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var kind jvm.Kind
+	found := false
+	for k := jvm.PCMOnly; k < jvm.NumKinds; k++ {
+		if strings.EqualFold(k.String(), *gcName) {
+			kind, found = k, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "pcmmon: unknown collector %q\n", *gcName)
+		os.Exit(2)
+	}
+	app := experiments.Config{Scale: experiments.Std}.Factory()(*appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "pcmmon: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	m := machine.New(machine.DefaultConfig())
+	k := kernel.New(m, kernel.DefaultConfig())
+	cfg := pcmmon.DefaultConfig()
+	cfg.PeriodSec = *period
+	mon := pcmmon.New(m, cfg)
+
+	plan := jvm.NewPlan(kind, jvm.PlanConfig{
+		BaseNurseryBytes: uint64(app.NurseryMB()) << 20,
+		HeapBytes:        uint64(app.HeapMB()) << 20,
+		ThreadSocket:     -1,
+	})
+	proc := k.NewProcess(*appName, plan.ThreadSocket, func(p *kernel.Process) {
+		rt, err := jvm.NewRuntime(p, plan)
+		if err != nil {
+			panic(err)
+		}
+		env := &workloads.ManagedEnv{R: rt}
+		rt.SetIteration(1)
+		app.Run(env, workloads.Default, *seed)
+		p.Barrier()
+		rt.SetIteration(2)
+		app.Run(env, workloads.Default, *seed+7)
+	})
+	err := k.Run([]*kernel.Process{proc}, kernel.RunConfig{
+		ThreadsPerProc: 4,
+		OnQuantum:      mon.OnQuantum,
+		OnBarrier: func() {
+			mon.StartMeasurement(proc.Th.Seconds())
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcmmon: %v\n", err)
+		os.Exit(1)
+	}
+	mon.StopMeasurement(proc.Th.Seconds())
+
+	fmt.Printf("time(s)    DRAM MB/s    PCM MB/s\n")
+	dram := mon.RateSeries(0)
+	pcm := mon.RateSeries(1)
+	samples := mon.Samples()
+	for i := range dram {
+		fmt.Printf("%8.3f %12.1f %11.1f\n", samples[i+1].TimeSec, dram[i], pcm[i])
+	}
+	rep := mon.Report()
+	fmt.Printf("\nmeasured iteration: %.4f s, PCM %.1f MB/s, DRAM %.1f MB/s\n",
+		rep.Seconds, rep.WriteRateMBs(1), rep.WriteRateMBs(0))
+}

@@ -1,0 +1,47 @@
+// Lifetime study: the paper's Table III scenario — measure PCM write
+// rates for single-program and multiprogrammed workloads and project
+// PCM lifetime in years under the paper's three endurance prototypes
+// (Equation 1, 32 GB PCM, 50% wear-leveling efficiency).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hybridmem "repro"
+)
+
+func main() {
+	opts := hybridmem.Emulator()
+	opts.AppFactory = hybridmem.ScaledApps(hybridmem.Quick)
+	opts.BootMB = 4
+
+	endurances := []struct {
+		name string
+		e    float64
+	}{
+		{"Prototype 1 (10M writes/cell)", 10e6},
+		{"Prototype 2 (30M writes/cell)", 30e6},
+		{"Prototype 3 (50M writes/cell)", 50e6},
+	}
+
+	for _, n := range []int{1, 4} {
+		for _, gc := range []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGW} {
+			res, err := hybridmem.Run(opts, hybridmem.RunSpec{
+				AppName:   "xalan",
+				Collector: gc,
+				Instances: n,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rate := res.PCMRateMBs()
+			fmt.Printf("xalan x%d under %-8s: %6.1f MB/s to PCM\n", n, gc, rate)
+			for _, p := range endurances {
+				years := hybridmem.LifetimeYears(32<<30, p.e, rate)
+				fmt.Printf("    %-30s %6.0f years\n", p.name, years)
+			}
+		}
+	}
+	fmt.Printf("\nvendor-recommended sustained rate: %.0f MB/s\n", hybridmem.RecommendedRateMBs())
+}

@@ -1,0 +1,44 @@
+// Multiprogrammed workloads: the paper's Fig 4 scenario — PCM writes
+// grow super-linearly with co-running instances under PCM-Only because
+// the instances interfere in the shared LLC, while KG-W dampens the
+// growth by keeping nursery writes in DRAM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hybridmem "repro"
+)
+
+func main() {
+	opts := hybridmem.Emulator()
+	opts.AppFactory = hybridmem.ScaledApps(hybridmem.Quick)
+	opts.BootMB = 4
+
+	for _, gc := range []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGW} {
+		fmt.Printf("%s:\n", gc)
+		var base float64
+		for _, n := range []int{1, 2, 4} {
+			res, err := hybridmem.Run(opts, hybridmem.RunSpec{
+				AppName:   "pmd",
+				Collector: gc,
+				Instances: n,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			w := float64(res.PCMWriteLines)
+			if n == 1 {
+				base = w
+			}
+			growth := w / base
+			marker := ""
+			if float64(n) < growth {
+				marker = "  <- super-linear"
+			}
+			fmt.Printf("  %d instance(s): %9.0f PCM line writes (%.1fx)%s\n",
+				n, w, growth, marker)
+		}
+	}
+}

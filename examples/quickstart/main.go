@@ -1,0 +1,44 @@
+// Quickstart: run one benchmark under the PCM-Only baseline and the
+// KG-W write-rationing collector, and compare the PCM writes the
+// emulated platform observes — the paper's headline experiment in a
+// few lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hybridmem "repro"
+)
+
+func main() {
+	opts := hybridmem.Emulator()
+	// Quick-scale inputs keep the example snappy; drop this line for
+	// the paper's sizes.
+	opts.AppFactory = hybridmem.ScaledApps(hybridmem.Quick)
+	opts.BootMB = 4
+
+	base, err := hybridmem.Run(opts, hybridmem.RunSpec{
+		AppName:   "lusearch",
+		Collector: hybridmem.PCMOnly,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kgw, err := hybridmem.Run(opts, hybridmem.RunSpec{
+		AppName:   "lusearch",
+		Collector: hybridmem.KGW,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("lusearch on the hybrid-memory emulator:")
+	fmt.Printf("  PCM-Only: %7d PCM line writes (%6.1f MB/s)\n",
+		base.PCMWriteLines, base.PCMRateMBs())
+	fmt.Printf("  KG-W:     %7d PCM line writes (%6.1f MB/s)\n",
+		kgw.PCMWriteLines, kgw.PCMRateMBs())
+	reduction := 100 * (1 - float64(kgw.PCMWriteLines)/float64(base.PCMWriteLines))
+	fmt.Printf("  write-rationing saved %.0f%% of PCM writes\n", reduction)
+	fmt.Printf("  recommended sustained rate: %.0f MB/s\n", hybridmem.RecommendedRateMBs())
+}

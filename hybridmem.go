@@ -1,0 +1,170 @@
+// Package hybridmem is a platform for emulating and evaluating hybrid
+// DRAM–PCM memory for managed languages, reproducing Akram, Sartor,
+// McKinley & Eeckhout, "Emulating and Evaluating Hybrid Memory for
+// Managed Languages on NUMA Hardware" (ISPASS 2019).
+//
+// The platform models the paper's two-socket NUMA server — socket 0's
+// memory plays DRAM, socket 1's plays PCM — together with the software
+// stack the paper builds on it: an OS layer (page tables, mmap/mbind,
+// page zeroing, scheduling), a Jikes-RVM-style managed runtime with
+// the paper's dual-free-list hybrid heap, the write-rationing
+// Kingsguard collectors (KG-N, KG-B, KG-W and their LOO/MDO variants),
+// a malloc/free runtime for the C++ comparisons, the pcm-memory-style
+// write-rate monitor, and the paper's benchmark suites (11 DaCapo
+// applications, pjbb2005, and a GraphChi engine running PageRank,
+// Connected Components, and ALS).
+//
+// A minimal experiment:
+//
+//	opts := hybridmem.Emulator()
+//	res, err := hybridmem.Run(opts, hybridmem.RunSpec{
+//		AppName:   "lusearch",
+//		Collector: hybridmem.KGW,
+//	})
+//	// res.PCMWriteLines, res.PCMRateMBs(), ...
+//
+// Run executes the paper's replay-compilation methodology: a warmup
+// iteration, a barrier, then a measured iteration whose socket write
+// counters and simulated time produce PCM write counts and rates
+// (MB/s). Results are deterministic for a given seed.
+//
+// The experiment drivers that regenerate every table and figure of the
+// paper live in internal/experiments and are exposed through the
+// benchmarks in bench_test.go and the cmd/paperfigs command.
+package hybridmem
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/jvm"
+	"repro/internal/lifetime"
+	"repro/internal/workloads"
+	"repro/internal/workloads/all"
+)
+
+// Collector is a garbage-collector configuration (the paper's plans).
+type Collector = jvm.Kind
+
+// The seven write-rationing configurations plus the PCM-Only baseline.
+const (
+	// PCMOnly is generational Immix with every space on the PCM
+	// socket.
+	PCMOnly = jvm.PCMOnly
+	// KGN is Kingsguard-nursery: the nursery lives in DRAM.
+	KGN = jvm.KGN
+	// KGB is KG-N with a 3x nursery.
+	KGB = jvm.KGB
+	// KGNLOO is KG-N plus the Large Object Optimization.
+	KGNLOO = jvm.KGNLOO
+	// KGBLOO is KG-B plus the Large Object Optimization.
+	KGBLOO = jvm.KGBLOO
+	// KGW is Kingsguard-writers: observer-based write monitoring with
+	// LOO and MDO.
+	KGW = jvm.KGW
+	// KGWNoLOO is KG-W without the Large Object Optimization.
+	KGWNoLOO = jvm.KGWNoLOO
+	// KGWNoMDO is KG-W without the MetaData Optimization.
+	KGWNoMDO = jvm.KGWNoMDO
+)
+
+// Mode selects the evaluation pipeline.
+type Mode = core.Mode
+
+// The paper's two methodologies.
+const (
+	// Emulation includes the OS and monitor effects of the real
+	// platform.
+	Emulation = core.Emulation
+	// Simulation is the Sniper-style exact pipeline.
+	Simulation = core.Simulation
+)
+
+// Options configure the platform; see core.Options for every knob.
+type Options = core.Options
+
+// RunSpec selects one experiment (application, collector, instances,
+// dataset, native).
+type RunSpec = core.RunSpec
+
+// Result is the measured iteration's outcome.
+type Result = core.Result
+
+// Dataset selects default or large inputs.
+type Dataset = workloads.Dataset
+
+// Input datasets.
+const (
+	// Default is the paper's default input (e.g. 1M edges).
+	Default = workloads.Default
+	// Large is the large input (e.g. 10M edges).
+	Large = workloads.Large
+)
+
+// App is a benchmark application.
+type App = workloads.App
+
+// Emulator returns options for the emulation pipeline (the paper's
+// contribution).
+func Emulator() Options {
+	return core.DefaultOptions()
+}
+
+// Simulator returns options for the Sniper-style validation pipeline.
+func Simulator() Options {
+	o := core.DefaultOptions()
+	o.Mode = core.Simulation
+	return o
+}
+
+// Run executes one experiment.
+func Run(opts Options, spec RunSpec) (Result, error) {
+	return core.Run(opts, spec)
+}
+
+// Apps returns the registry names of the paper's 15 benchmarks.
+func Apps() []string { return all.Names() }
+
+// NewApp returns a fresh instance of a named benchmark (nil if
+// unknown).
+func NewApp(name string) App { return all.New(name) }
+
+// Collectors returns all eight collector configurations in the
+// paper's order.
+func Collectors() []Collector {
+	return []Collector{PCMOnly, KGN, KGB, KGNLOO, KGBLOO, KGW, KGWNoLOO, KGWNoMDO}
+}
+
+// Scale selects experiment input sizes for the bundled experiment
+// drivers.
+type Scale = experiments.Scale
+
+// Experiment scales.
+const (
+	// Quick is CI-sized.
+	Quick = experiments.Quick
+	// Std is the EXPERIMENTS.md scale.
+	Std = experiments.Std
+	// Full is the paper's scale.
+	Full = experiments.Full
+)
+
+// ScaledApps returns an application factory with inputs sized for the
+// given scale — handy for examples and tests that cannot afford
+// paper-scale runs. Pass it as Options.AppFactory.
+func ScaledApps(s Scale) func(name string) App {
+	return experiments.Config{Scale: s}.Factory()
+}
+
+// LifetimeYears evaluates the paper's Equation 1: the expected PCM
+// lifetime in years for a memory of sizeBytes with per-cell endurance,
+// written at rateMBs, under 50% wear-leveling efficiency.
+func LifetimeYears(sizeBytes uint64, endurance, rateMBs float64) float64 {
+	return lifetime.YearsFromMBs(sizeBytes, endurance, rateMBs,
+		lifetime.DefaultWearLevelingEfficiency)
+}
+
+// RecommendedRateMBs is the paper's 140 MB/s sustained-write limit
+// (a 375 GB prototype rated at 30 drive-writes-per-day).
+func RecommendedRateMBs() float64 {
+	return lifetime.PaperRecommendedRateMBs()
+}

@@ -1,0 +1,73 @@
+package hybridmem
+
+import "testing"
+
+func TestAppsRegistry(t *testing.T) {
+	names := Apps()
+	if len(names) != 15 {
+		t.Fatalf("Apps() = %d names, want the paper's 15", len(names))
+	}
+	for _, n := range names {
+		if NewApp(n) == nil {
+			t.Errorf("NewApp(%q) = nil", n)
+		}
+	}
+	if NewApp("nonsense") != nil {
+		t.Error("unknown app should be nil")
+	}
+}
+
+func TestCollectors(t *testing.T) {
+	cs := Collectors()
+	if len(cs) != 8 {
+		t.Fatalf("Collectors() = %d, want 8", len(cs))
+	}
+	if cs[0] != PCMOnly || cs[5] != KGW {
+		t.Errorf("collector order wrong: %v", cs)
+	}
+}
+
+func TestEndToEndQuickRun(t *testing.T) {
+	opts := Emulator()
+	opts.AppFactory = ScaledApps(Quick)
+	opts.BootMB = 4
+	res, err := Run(opts, RunSpec{AppName: "pmd", Collector: KGW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PCMWriteLines == 0 && res.DRAMWriteLines == 0 {
+		t.Error("no memory traffic measured")
+	}
+	if res.Seconds <= 0 {
+		t.Error("no time measured")
+	}
+}
+
+func TestSimulatorMode(t *testing.T) {
+	opts := Simulator()
+	opts.AppFactory = ScaledApps(Quick)
+	opts.BootMB = 4
+	res, err := Run(opts, RunSpec{AppName: "pmd", Collector: KGN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ZeroedPages != 0 {
+		t.Error("simulation mode must not include OS page zeroing")
+	}
+}
+
+func TestLifetimeHelpers(t *testing.T) {
+	rec := RecommendedRateMBs()
+	if rec < 130 || rec > 145 {
+		t.Errorf("recommended rate = %.1f, want ~140", rec)
+	}
+	y := LifetimeYears(32<<30, 10e6, 140)
+	if y <= 0 {
+		t.Error("lifetime should be positive")
+	}
+	// Halving the write rate doubles the lifetime.
+	y2 := LifetimeYears(32<<30, 10e6, 70)
+	if y2 < 1.99*y || y2 > 2.01*y {
+		t.Errorf("lifetime scaling wrong: %v vs %v", y, y2)
+	}
+}

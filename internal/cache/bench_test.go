@@ -1,0 +1,37 @@
+package cache
+
+import "testing"
+
+// BenchmarkAccessHit measures the hot path: an L1-style hit.
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{Name: "L1", Bytes: 32 << 10, Ways: 8})
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+// BenchmarkAccessMissStream measures a streaming miss pattern with
+// evictions — the writeback-generating path.
+func BenchmarkAccessMissStream(b *testing.B) {
+	c := New(Config{Name: "L3", Bytes: 1 << 20, Ways: 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64, true)
+	}
+}
+
+// BenchmarkAccessL3Associativity measures a 20-way set scan (the
+// platform's L3 geometry).
+func BenchmarkAccessL3Associativity(b *testing.B) {
+	c := New(Config{Name: "L3", Bytes: 20 << 20, Ways: 20})
+	// Warm one set with 20 resident ways.
+	for w := 0; w < 20; w++ {
+		c.Access(uint64(w)*(20<<20)/20, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%20)*(20<<20)/20, false)
+	}
+}

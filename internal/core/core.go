@@ -1,0 +1,339 @@
+// Package core assembles the paper's two evaluation pipelines.
+//
+// Emulation (the paper's contribution) builds the full platform: the
+// two-socket NUMA machine, an OS with page zeroing and background
+// noise, the write-rate monitor perturbing socket 0, and SMT-capable
+// scheduling — everything a real commodity server contributes to the
+// measurement. Simulation is the Sniper-style validation pipeline: the
+// same cache and memory model driven without an OS, without monitor
+// perturbation, and without hyperthreading, reading exact counters.
+// Comparing the two reproduces the paper's Table II methodology.
+//
+// A Run executes one experiment: N instances of one benchmark under
+// one collector configuration, using replay-compilation methodology —
+// iteration 1 warms up (the optimizing compiler is active), all
+// instances synchronize at a barrier, counters are snapshotted, and
+// iteration 2 is measured.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/jvm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/native"
+	"repro/internal/pcmmon"
+	"repro/internal/workloads"
+	"repro/internal/workloads/all"
+)
+
+// Mode selects the evaluation pipeline.
+type Mode int
+
+const (
+	// Emulation is the NUMA-platform pipeline with OS and monitor
+	// effects included.
+	Emulation Mode = iota
+	// Simulation is the Sniper-style pipeline: no OS, no monitor
+	// noise, no SMT, exact counters.
+	Simulation
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Simulation {
+		return "simulation"
+	}
+	return "emulation"
+}
+
+// Options configure the platform.
+type Options struct {
+	Mode Mode
+	// Seed drives every workload RNG; equal seeds reproduce runs
+	// bit-for-bit.
+	Seed uint64
+	// L3Bytes overrides the 20 MB shared L3 (the paper's KG-N
+	// sensitivity analysis compares 4 MB vs 20 MB). 0 = default.
+	L3Bytes int
+	// BaseNurseryMB overrides the suite nursery (0 = app default).
+	BaseNurseryMB int
+	// ObserverFactor overrides the observer:nursery ratio for KG-W
+	// plans (0 = the paper's 2x).
+	ObserverFactor int
+	// ThreadSocket forces thread placement (-1 = plan default). The
+	// Table II reference setup runs PCM-Only with threads on S0.
+	ThreadSocket int
+	// MonitorNode is where the write-rate monitor runs/writes (the
+	// paper uses socket 0; the ablation tries socket 1).
+	MonitorNode int
+	// QuantumCycles overrides the scheduling timeslice.
+	QuantumCycles float64
+	// UnmapFreedChunks enables the monolithic-free-list ablation.
+	UnmapFreedChunks bool
+	// TrackWear enables per-page wear histograms on the devices.
+	TrackWear bool
+	// BootMB overrides the boot-image size (0 = 48 MB). Experiments
+	// that run hundreds of configurations shrink it.
+	BootMB int
+	// EdgeOverride shrinks GraphChi datasets for tests (0 = paper
+	// scale). It is applied via the registry's test hooks.
+	AppFactory func(name string) workloads.App
+}
+
+// DefaultOptions returns the emulation pipeline defaults.
+func DefaultOptions() Options {
+	return Options{Mode: Emulation, Seed: 1, ThreadSocket: -1}
+}
+
+// RunSpec is one experiment.
+type RunSpec struct {
+	// AppName is a registry name ("lusearch", "pjbb", "PR", ...).
+	AppName string
+	// Collector is the plan kind; ignored for native runs.
+	Collector jvm.Kind
+	// Instances is the multiprogramming degree (1, 2, or 4 in the
+	// paper).
+	Instances int
+	// Dataset selects default or large inputs.
+	Dataset workloads.Dataset
+	// Native runs the C++ version on the malloc runtime (GraphChi's
+	// C++ implementations in the paper).
+	Native bool
+}
+
+// Result is the measured iteration's outcome.
+type Result struct {
+	// DRAMWriteLines and PCMWriteLines are the socket write counters
+	// over the measured iteration (the pcm-memory quantities).
+	DRAMWriteLines uint64
+	PCMWriteLines  uint64
+	DRAMReadLines  uint64
+	PCMReadLines   uint64
+	// Seconds is the measured-iteration wall time: the longest
+	// per-instance duration (instances run concurrently).
+	Seconds float64
+	// PerInstanceSeconds are the individual durations.
+	PerInstanceSeconds []float64
+	// RuntimeStats are per-instance JVM statistics (managed runs).
+	RuntimeStats []jvm.Stats
+	// NativeStats are per-instance allocator statistics (native runs).
+	NativeStats []native.Stats
+	// AllocBytes is total allocation per instance (memcheck analog).
+	AllocBytes []uint64
+	// PeakResidentBytes is the massif-style peak footprint.
+	PeakResidentBytes []uint64
+	// ZeroedPages counts kernel page zeroing (emulation only).
+	ZeroedPages uint64
+	// QPI is the cross-socket traffic.
+	QPI machine.QPIStats
+	// FreeListMaps/FreeListRecycles aggregate chunk-allocator events.
+	FreeListMaps     uint64
+	FreeListRecycles uint64
+}
+
+// PCMWriteBytes returns PCM write traffic in bytes.
+func (r Result) PCMWriteBytes() uint64 { return r.PCMWriteLines * 64 }
+
+// DRAMWriteBytes returns DRAM write traffic in bytes.
+func (r Result) DRAMWriteBytes() uint64 { return r.DRAMWriteLines * 64 }
+
+// TotalWriteLines returns combined memory write traffic.
+func (r Result) TotalWriteLines() uint64 { return r.DRAMWriteLines + r.PCMWriteLines }
+
+// PCMRateMBs returns the PCM write rate in MB/s.
+func (r Result) PCMRateMBs() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.PCMWriteBytes()) / 1e6 / r.Seconds
+}
+
+// machineConfig builds the hardware description for the mode.
+func machineConfig(opts Options) machine.Config {
+	cfg := machine.DefaultConfig()
+	if opts.Mode == Simulation {
+		// The paper's simulated system: 8 out-of-order cores, no
+		// hyperthreading, 256 KB L2, 20 MB shared L3.
+		cfg.SMT = false
+	}
+	if opts.L3Bytes > 0 {
+		cfg.L3.Bytes = opts.L3Bytes
+		// Keep 20-way associativity when the size allows whole sets.
+		for cfg.L3.Bytes/64%cfg.L3.Ways != 0 && cfg.L3.Ways > 1 {
+			cfg.L3.Ways /= 2
+		}
+	}
+	cfg.TrackWear = opts.TrackWear
+	return cfg
+}
+
+// kernelConfig builds the OS description for the mode.
+func kernelConfig(opts Options) kernel.Config {
+	if opts.Mode == Simulation {
+		return kernel.Config{EmulateOS: false}
+	}
+	cfg := kernel.DefaultConfig()
+	cfg.NoiseNode = opts.MonitorNode
+	return cfg
+}
+
+// Run executes one experiment and returns the measured iteration's
+// results.
+func Run(opts Options, spec RunSpec) (Result, error) {
+	if spec.Instances <= 0 {
+		spec.Instances = 1
+	}
+	factory := opts.AppFactory
+	if factory == nil {
+		factory = all.New
+	}
+	probe := factory(spec.AppName)
+	if probe == nil {
+		return Result{}, fmt.Errorf("core: unknown application %q", spec.AppName)
+	}
+
+	m := machine.New(machineConfig(opts))
+	k := kernel.New(m, kernelConfig(opts))
+
+	monCfg := pcmmon.DefaultConfig()
+	monCfg.NoiseNode = opts.MonitorNode
+	if opts.Mode == Simulation {
+		monCfg.SelfNoiseLines = 0
+	}
+	mon := pcmmon.New(m, monCfg)
+
+	res := Result{
+		PerInstanceSeconds: make([]float64, spec.Instances),
+		AllocBytes:         make([]uint64, spec.Instances),
+		PeakResidentBytes:  make([]uint64, spec.Instances),
+	}
+	if spec.Native {
+		res.NativeStats = make([]native.Stats, spec.Instances)
+	} else {
+		res.RuntimeStats = make([]jvm.Stats, spec.Instances)
+	}
+
+	var procs []*kernel.Process
+	starts := make([]float64, spec.Instances)
+	for i := 0; i < spec.Instances; i++ {
+		i := i
+		app := probe
+		if i > 0 {
+			app = factory(spec.AppName) // independent instance and dataset copy
+		}
+		plan := buildPlan(opts, spec, app)
+		socket := plan.ThreadSocket
+		seed := opts.Seed*1000 + uint64(i)*17
+
+		var body func(p *kernel.Process)
+		if spec.Native {
+			socket = jvm.PCMSocket
+			if opts.ThreadSocket >= 0 {
+				socket = opts.ThreadSocket
+			}
+			body = func(p *kernel.Process) {
+				rt, err := native.NewRuntime(p, 512<<20, jvm.PCMSocket)
+				if err != nil {
+					panic(err)
+				}
+				env := &workloads.NativeEnv{R: rt}
+				app.Run(env, spec.Dataset, seed)
+				p.Barrier()
+				starts[i] = p.Th.Seconds()
+				app.Run(env, spec.Dataset, seed+7)
+				res.PerInstanceSeconds[i] = p.Th.Seconds() - starts[i]
+				res.NativeStats[i] = rt.Stats
+				res.AllocBytes[i] = rt.Stats.AllocBytes
+				res.PeakResidentBytes[i] = p.AS.PeakResident * kernel.PageSize
+			}
+		} else {
+			body = func(p *kernel.Process) {
+				rt, err := jvm.NewRuntime(p, plan)
+				if err != nil {
+					panic(err)
+				}
+				env := &workloads.ManagedEnv{R: rt}
+				rt.SetIteration(1)
+				app.Run(env, spec.Dataset, seed)
+				p.Barrier()
+				starts[i] = p.Th.Seconds()
+				rt.SetIteration(2)
+				app.Run(env, spec.Dataset, seed+7)
+				res.PerInstanceSeconds[i] = p.Th.Seconds() - starts[i]
+				res.RuntimeStats[i] = rt.Stats
+				res.AllocBytes[i] = rt.Stats.AllocBytes
+				res.PeakResidentBytes[i] = p.AS.PeakResident * kernel.PageSize
+				lo, hi := rt.FreeLists()
+				res.FreeListMaps += lo.Maps + hi.Maps
+				res.FreeListRecycles += lo.Recycles + hi.Recycles
+			}
+		}
+		procs = append(procs, k.NewProcess(fmt.Sprintf("%s#%d", spec.AppName, i), socket, body))
+	}
+
+	rc := kernel.RunConfig{
+		QuantumCycles:  opts.QuantumCycles,
+		ThreadsPerProc: 4, // the paper: four application threads each
+		OnQuantum:      mon.OnQuantum,
+		OnBarrier: func() {
+			// Replay methodology: the measured iteration starts here
+			// for every instance simultaneously.
+			mon.StartMeasurement(monNow(procs))
+		},
+	}
+	if err := k.Run(procs, rc); err != nil {
+		return Result{}, err
+	}
+	mon.StopMeasurement(monNow(procs))
+
+	rep := mon.Report()
+	res.DRAMWriteLines = rep.WriteLines[0]
+	res.PCMWriteLines = rep.WriteLines[1]
+	res.DRAMReadLines = rep.ReadLines[0]
+	res.PCMReadLines = rep.ReadLines[1]
+	for _, d := range res.PerInstanceSeconds {
+		if d > res.Seconds {
+			res.Seconds = d
+		}
+	}
+	res.ZeroedPages = k.ZeroedPages()
+	res.QPI = m.QPI()
+	return res, nil
+}
+
+// monNow returns the maximum process clock (all instances have reached
+// the same point at barriers and at completion).
+func monNow(procs []*kernel.Process) float64 {
+	max := 0.0
+	for _, p := range procs {
+		if s := p.Th.Seconds(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// buildPlan resolves the collector plan for one app under the options.
+func buildPlan(opts Options, spec RunSpec, app workloads.App) jvm.Plan {
+	nursery := uint64(app.NurseryMB()) << 20
+	if opts.BaseNurseryMB > 0 {
+		nursery = uint64(opts.BaseNurseryMB) << 20
+	}
+	boot := uint64(0)
+	if opts.BootMB > 0 {
+		boot = uint64(opts.BootMB) << 20
+	}
+	plan := jvm.NewPlan(spec.Collector, jvm.PlanConfig{
+		BaseNurseryBytes: nursery,
+		HeapBytes:        uint64(app.HeapMB()) << 20,
+		BootBytes:        boot,
+		ThreadSocket:     opts.ThreadSocket,
+	})
+	if opts.ObserverFactor > 0 && plan.UseObserver {
+		plan.ObserverBytes = uint64(opts.ObserverFactor) * plan.NurseryBytes
+	}
+	plan.UnmapFreedChunks = opts.UnmapFreedChunks
+	return plan
+}

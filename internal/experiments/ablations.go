@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/jvm"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// AblationL3Result is the cache-size sensitivity of KG-N (§V): the
+// paper's prior work reported 81% reduction under a 4 MB L3, falling
+// to 4–8% under the platform's 20 MB L3.
+type AblationL3Result struct {
+	L3MB         []int
+	ReductionPct []float64
+}
+
+// AblationL3 sweeps the shared-cache size and measures KG-N's
+// PCM-write reduction over PCM-Only on the DaCapo trio.
+func (r *Runner) AblationL3(l3MBs []int) (AblationL3Result, error) {
+	res := AblationL3Result{L3MB: l3MBs}
+	apps := r.cfg.dacapoApps()
+	for _, mb := range l3MBs {
+		var reds []float64
+		for _, app := range apps {
+			opts := r.opts(core.Emulation)
+			opts.L3Bytes = mb << 20
+			optsRef := opts
+			optsRef.ThreadSocket = 0
+			base, err := r.run(optsRef, core.RunSpec{AppName: app, Collector: jvm.PCMOnly})
+			if err != nil {
+				return res, err
+			}
+			kgn, err := r.run(opts, core.RunSpec{AppName: app, Collector: jvm.KGN})
+			if err != nil {
+				return res, err
+			}
+			reds = append(reds, stats.PercentReduction(
+				float64(base.PCMWriteLines), float64(kgn.PCMWriteLines)))
+		}
+		res.ReductionPct = append(res.ReductionPct, stats.Mean(reds))
+	}
+	return res, nil
+}
+
+// Render renders the sweep.
+func (a AblationL3Result) Render() string {
+	tb := stats.NewTable("Ablation: KG-N PCM-write reduction vs shared L3 size",
+		"L3 (MB)", "reduction")
+	for i, mb := range a.L3MB {
+		tb.AddRow(fmt.Sprint(mb), fmt.Sprintf("%.0f%%", a.ReductionPct[i]))
+	}
+	return tb.String()
+}
+
+// AblationObserverResult sweeps KG-W's observer sizing (the paper
+// fixes it at 2x the nursery as a pause/garbage compromise).
+type AblationObserverResult struct {
+	Factor       []int
+	PCMWrites    []uint64
+	OverheadPct  []float64 // execution time vs factor 2
+	ObserverGCs  []int
+	BaselineSecs float64
+}
+
+// AblationObserver sweeps the observer:nursery factor for KG-W.
+func (r *Runner) AblationObserver(factors []int, app string) (AblationObserverResult, error) {
+	res := AblationObserverResult{Factor: factors}
+	var base float64
+	for _, f := range factors {
+		opts := r.opts(core.Emulation)
+		opts.ObserverFactor = f
+		run, err := r.run(opts, core.RunSpec{AppName: app, Collector: jvm.KGW})
+		if err != nil {
+			return res, err
+		}
+		if f == 2 {
+			base = run.Seconds
+			res.BaselineSecs = base
+		}
+		res.PCMWrites = append(res.PCMWrites, run.PCMWriteLines)
+		res.ObserverGCs = append(res.ObserverGCs, run.RuntimeStats[0].ObserverGCs)
+		res.OverheadPct = append(res.OverheadPct, run.Seconds)
+	}
+	for i := range res.OverheadPct {
+		if base > 0 {
+			res.OverheadPct[i] = 100 * (res.OverheadPct[i]/base - 1)
+		}
+	}
+	return res, nil
+}
+
+// Render renders the sweep.
+func (a AblationObserverResult) Render() string {
+	tb := stats.NewTable("Ablation: KG-W observer sizing (vs the paper's 2x nursery)",
+		"observer/nursery", "PCM writes", "time vs 2x", "observer GCs")
+	for i, f := range a.Factor {
+		tb.AddRow(fmt.Sprint(f),
+			fmt.Sprint(a.PCMWrites[i]),
+			fmt.Sprintf("%+.1f%%", a.OverheadPct[i]),
+			fmt.Sprint(a.ObserverGCs[i]))
+	}
+	return tb.String()
+}
+
+// AblationNurseryResult compares GraphChi under 4 MB and 32 MB
+// nurseries (the paper found 32 MB performs better and uses it).
+type AblationNurseryResult struct {
+	NurseryMB []int
+	Seconds   []float64
+	PCMWrites []uint64
+}
+
+// AblationNursery runs PR under different nursery sizes with KG-N.
+func (r *Runner) AblationNursery(sizesMB []int) (AblationNurseryResult, error) {
+	res := AblationNurseryResult{NurseryMB: sizesMB}
+	for _, mb := range sizesMB {
+		opts := r.opts(core.Emulation)
+		opts.BaseNurseryMB = mb
+		run, err := r.run(opts, core.RunSpec{AppName: "PR", Collector: jvm.KGN})
+		if err != nil {
+			return res, err
+		}
+		res.Seconds = append(res.Seconds, run.Seconds)
+		res.PCMWrites = append(res.PCMWrites, run.PCMWriteLines)
+	}
+	return res, nil
+}
+
+// Render renders the comparison.
+func (a AblationNurseryResult) Render() string {
+	tb := stats.NewTable("Ablation: GraphChi nursery sizing (PR, KG-N)",
+		"nursery (MB)", "time (s)", "PCM writes")
+	for i, mb := range a.NurseryMB {
+		tb.AddRow(fmt.Sprint(mb), fmt.Sprintf("%.4f", a.Seconds[i]), fmt.Sprint(a.PCMWrites[i]))
+	}
+	return tb.String()
+}
+
+// AblationMonitorResult compares monitor placement: the paper runs the
+// write-rate monitor on socket 0 because that keeps its perturbation
+// out of the PCM (socket 1) counters.
+type AblationMonitorResult struct {
+	Node      []int
+	PCMWrites []uint64
+}
+
+// AblationMonitorSocket measures PCM-write contamination when the
+// monitor runs on each socket.
+func (r *Runner) AblationMonitorSocket(app string) (AblationMonitorResult, error) {
+	res := AblationMonitorResult{Node: []int{0, 1}}
+	for _, node := range res.Node {
+		opts := r.opts(core.Emulation)
+		opts.MonitorNode = node
+		run, err := r.run(opts, core.RunSpec{AppName: app, Collector: jvm.KGW})
+		if err != nil {
+			return res, err
+		}
+		res.PCMWrites = append(res.PCMWrites, run.PCMWriteLines)
+	}
+	return res, nil
+}
+
+// Render renders the comparison.
+func (a AblationMonitorResult) Render() string {
+	tb := stats.NewTable("Ablation: write-rate monitor placement",
+		"monitor socket", "PCM writes observed")
+	for i, n := range a.Node {
+		tb.AddRow(fmt.Sprint(n), fmt.Sprint(a.PCMWrites[i]))
+	}
+	return tb.String()
+}
+
+// AblationFreeListsResult compares the paper's dual recycling free
+// lists with the rejected monolithic design that unmaps freed chunks.
+type AblationFreeListsResult struct {
+	Unmap       []bool
+	Seconds     []float64
+	ZeroedPages []uint64
+	Maps        []uint64
+	Recycles    []uint64
+}
+
+// AblationFreeLists runs a full-GC-heavy workload under both chunk
+// policies.
+func (r *Runner) AblationFreeLists(app string) (AblationFreeListsResult, error) {
+	res := AblationFreeListsResult{Unmap: []bool{false, true}}
+	for _, unmap := range res.Unmap {
+		opts := r.opts(core.Emulation)
+		opts.UnmapFreedChunks = unmap
+		run, err := r.run(opts, core.RunSpec{AppName: app, Collector: jvm.KGW})
+		if err != nil {
+			return res, err
+		}
+		res.Seconds = append(res.Seconds, run.Seconds)
+		res.ZeroedPages = append(res.ZeroedPages, run.ZeroedPages)
+		res.Maps = append(res.Maps, run.FreeListMaps)
+		res.Recycles = append(res.Recycles, run.FreeListRecycles)
+	}
+	return res, nil
+}
+
+// Render renders the comparison.
+func (a AblationFreeListsResult) Render() string {
+	tb := stats.NewTable("Ablation: dual recycling free lists vs monolithic unmap-on-free",
+		"unmap freed chunks", "time (s)", "kernel-zeroed pages", "chunk maps", "chunk recycles")
+	for i, u := range a.Unmap {
+		tb.AddRow(fmt.Sprint(u), fmt.Sprintf("%.4f", a.Seconds[i]),
+			fmt.Sprint(a.ZeroedPages[i]), fmt.Sprint(a.Maps[i]), fmt.Sprint(a.Recycles[i]))
+	}
+	return tb.String()
+}
+
+// quickApp picks a cheap representative application for ablations.
+func (r *Runner) quickApp() string {
+	if r.cfg.Scale == Quick {
+		return "pmd"
+	}
+	return "pjbb"
+}
+
+var _ = workloads.Default

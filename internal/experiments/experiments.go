@@ -1,0 +1,245 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Tables I–III, Figures 3–8) plus the ablation
+// studies DESIGN.md calls out. Each driver runs the needed platform
+// configurations through internal/core, reuses shared runs via a
+// memoizing Runner, and renders the same rows/series the paper
+// reports.
+//
+// Reproduction targets the paper's *shape* — orderings, ratios,
+// crossovers — not absolute counts: the substrate is a software model
+// of the platform, and the workloads are calibrated stand-ins (see
+// DESIGN.md). EXPERIMENTS.md records paper-vs-measured for every row.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/jvm"
+	"repro/internal/workloads"
+	"repro/internal/workloads/all"
+	"repro/internal/workloads/dacapo"
+	"repro/internal/workloads/graphchi"
+	"repro/internal/workloads/pjbb"
+)
+
+// Scale selects input sizes.
+type Scale int
+
+const (
+	// Quick is quarter-scale for tests and benches.
+	Quick Scale = iota
+	// Std is the scale EXPERIMENTS.md is generated at: full DaCapo
+	// profiles, 400k-edge graphs (4M large).
+	Std
+	// Full is the paper's scale: 1M-edge graphs (10M large).
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Std:
+		return "std"
+	default:
+		return "full"
+	}
+}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	Scale Scale
+	Seed  uint64
+}
+
+// graphEdges returns the default GraphChi dataset size for the scale.
+// Std and Full both use the paper's 1M edges: smaller graphs fit the
+// 20 MB LLC entirely and lose the cache effects the paper measures;
+// they differ in the large-dataset multiplier (4x vs the paper's 10x)
+// to bound Fig 8's cost.
+func (c Config) graphEdges() int {
+	if c.Scale == Quick {
+		return 150_000
+	}
+	return 1_000_000
+}
+
+// graphLargeFactor is the large-dataset multiplier for GraphChi.
+func (c Config) graphLargeFactor() int {
+	if c.Scale == Full {
+		return 10
+	}
+	return 4
+}
+
+// allocScale shrinks the profile apps' iteration volume in Quick mode.
+func (c Config) allocScale() float64 {
+	if c.Scale == Quick {
+		return 0.25
+	}
+	return 1
+}
+
+// dacapoApps returns the DaCapo names an experiment iterates: a
+// representative trio in Quick mode, a five-app subset at Std (the
+// multiprogrammed figures multiply every run by up to 4x), and the
+// full suite at Full scale.
+func (c Config) dacapoApps() []string {
+	switch c.Scale {
+	case Quick:
+		return []string{"lusearch", "xalan", "pmd"}
+	case Std:
+		return []string{"lusearch", "xalan", "pmd", "bloat", "avrora"}
+	default:
+		return dacapo.Names()
+	}
+}
+
+// Factory returns the scaled application factory, for callers (the
+// public facade, examples) that need scale-consistent app instances.
+func (c Config) Factory() func(string) workloads.App {
+	return c.factory()
+}
+
+// factory builds the scaled application factory.
+func (c Config) factory() func(string) workloads.App {
+	edges := c.graphEdges()
+	scale := c.allocScale()
+	largeFactor := c.graphLargeFactor()
+	return func(name string) workloads.App {
+		switch name {
+		case "PR":
+			return graphchi.NewWithEdgesAndLarge(graphchi.PR, edges, largeFactor)
+		case "CC":
+			return graphchi.NewWithEdgesAndLarge(graphchi.CC, edges, largeFactor)
+		case "ALS":
+			return graphchi.NewWithEdgesAndLarge(graphchi.ALS, edges, largeFactor)
+		}
+		app := all.New(name)
+		if app == nil {
+			return nil
+		}
+		if pa, ok := app.(*workloads.ProfileApp); ok && scale != 1 {
+			p := pa.P
+			p.AllocMB = int(float64(p.AllocMB) * scale)
+			if p.AllocMB < 2 {
+				p.AllocMB = 2
+			}
+			return workloads.NewProfileApp(p)
+		}
+		return app
+	}
+}
+
+// Runner memoizes core runs so experiments sharing configurations
+// (e.g. the 1-instance PCM-Only runs of Figs 4, 5, and 6) execute
+// them once.
+type Runner struct {
+	cfg   Config
+	cache map[string]core.Result
+}
+
+// NewRunner returns a runner for the configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{cfg: cfg, cache: map[string]core.Result{}}
+}
+
+// run executes (or replays) one platform run.
+func (r *Runner) run(opts core.Options, spec core.RunSpec) (core.Result, error) {
+	key := fmt.Sprintf("m%d|a%s|c%d|i%d|d%d|n%v|l%d|t%d|nur%d|obs%d|un%v|mon%d",
+		opts.Mode, spec.AppName, spec.Collector, spec.Instances, spec.Dataset,
+		spec.Native, opts.L3Bytes, opts.ThreadSocket, opts.BaseNurseryMB,
+		opts.ObserverFactor, opts.UnmapFreedChunks, opts.MonitorNode)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := core.Run(opts, spec)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// opts builds the default emulation options for this runner.
+func (r *Runner) opts(mode core.Mode) core.Options {
+	o := core.DefaultOptions()
+	o.Mode = mode
+	o.Seed = r.cfg.Seed + 1
+	o.AppFactory = r.cfg.factory()
+	if r.cfg.Scale == Quick {
+		o.BootMB = 4
+	}
+	return o
+}
+
+// emul runs one managed emulation.
+func (r *Runner) emul(appName string, kind jvm.Kind, instances int, ds workloads.Dataset) (core.Result, error) {
+	return r.run(r.opts(core.Emulation), core.RunSpec{
+		AppName: appName, Collector: kind, Instances: instances, Dataset: ds,
+	})
+}
+
+// sim runs one managed simulation (Sniper pipeline).
+func (r *Runner) sim(appName string, kind jvm.Kind) (core.Result, error) {
+	return r.run(r.opts(core.Simulation), core.RunSpec{AppName: appName, Collector: kind})
+}
+
+// reference runs the Table II reference setup: PCM-Only bindings with
+// threads on socket 0, isolating system-level S0 effects.
+func (r *Runner) reference(mode core.Mode, appName string) (core.Result, error) {
+	o := r.opts(mode)
+	o.ThreadSocket = 0
+	return r.run(o, core.RunSpec{AppName: appName, Collector: jvm.PCMOnly})
+}
+
+// suiteApps maps each suite to the evaluation's application names.
+func (r *Runner) suiteApps(s workloads.Suite) []string {
+	switch s {
+	case workloads.DaCapo:
+		return r.cfg.dacapoApps()
+	case workloads.Pjbb:
+		return []string{"pjbb"}
+	default:
+		return []string{"PR", "CC", "ALS"}
+	}
+}
+
+// allApps lists every application in the evaluation.
+func (r *Runner) allApps() []string {
+	var names []string
+	names = append(names, r.cfg.dacapoApps()...)
+	names = append(names, "pjbb", "PR", "CC", "ALS")
+	return names
+}
+
+// nurseryOf reports the suite nursery of an app name (for reporting).
+func nurseryOf(name string) int {
+	switch name {
+	case "PR", "CC", "ALS":
+		return 32
+	case "pjbb":
+		return 4
+	default:
+		if dacapo.New(name) != nil {
+			return 4
+		}
+		return 4
+	}
+}
+
+// sortedKeys is a test helper exposing cache coverage.
+func (r *Runner) sortedKeys() []string {
+	keys := make([]string, 0, len(r.cache))
+	for k := range r.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var _ = pjbb.New // keep the suite packages linked for registry parity
+var _ = nurseryOf

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jvm"
+	"repro/internal/workloads"
+)
+
+func TestScaleStrings(t *testing.T) {
+	if Quick.String() != "quick" || Std.String() != "std" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestTableIStructure(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 5 {
+		t.Fatalf("Table I rows = %d, want 5", len(rows))
+	}
+	byName := map[string]TableIRow{}
+	for _, r := range rows {
+		byName[r.Space] = r
+	}
+	// Paper's Table I, KG-N column.
+	if n := byName["Nursery"]; !n.KGN[0] || n.KGN[1] {
+		t.Error("KG-N nursery must be S0 only")
+	}
+	if o := byName["Observer"]; o.KGN[0] || o.KGN[1] {
+		t.Error("KG-N has no observer space")
+	}
+	if m := byName["Mature"]; m.KGN[0] || !m.KGN[1] {
+		t.Error("KG-N mature must be S1 only")
+	}
+	if md := byName["Metadata"]; md.KGN[0] || !md.KGN[1] {
+		t.Error("KG-N metadata must be S1 only")
+	}
+	// KG-W column: everything dual except nursery/observer.
+	if m := byName["Mature"]; !m.KGW[0] || !m.KGW[1] {
+		t.Error("KG-W mature must be on both sockets")
+	}
+	if md := byName["Metadata"]; !md.KGW[0] || !md.KGW[1] {
+		t.Error("KG-W metadata must be on both sockets")
+	}
+	// KG-W-MDO column: no DRAM metadata.
+	if md := byName["Metadata"]; md.KGWMDO[0] || !md.KGWMDO[1] {
+		t.Error("KG-W-MDO metadata must be S1 only")
+	}
+	out := RenderTableI()
+	for _, want := range []string{"Nursery", "Observer", "Mature", "Large", "Metadata"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered Table I missing %q", want)
+		}
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	q := Config{Scale: Quick}
+	if len(q.dacapoApps()) >= len(Config{Scale: Full}.dacapoApps()) {
+		t.Error("Quick must use fewer DaCapo apps than Full")
+	}
+	if q.graphEdges() >= (Config{Scale: Std}).graphEdges() {
+		t.Error("Quick graphs must be smaller than Std")
+	}
+	if (Config{Scale: Std}).graphLargeFactor() >= (Config{Scale: Full}).graphLargeFactor() {
+		t.Error("Std large factor must be below Full's 10x")
+	}
+	app := q.factory()("lusearch")
+	if app == nil {
+		t.Fatal("factory lost lusearch")
+	}
+	pa := app.(*workloads.ProfileApp)
+	if pa.P.AllocMB >= 200 {
+		t.Error("Quick scale must shrink the allocation volume")
+	}
+	if q.factory()("nope") != nil {
+		t.Error("factory should return nil for unknown apps")
+	}
+}
+
+func TestRunnerCacheReuse(t *testing.T) {
+	r := NewRunner(Config{Scale: Quick, Seed: 1})
+	a, err := r.emul("pmd", jvm.KGN, 1, workloads.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.sortedKeys()) != 1 {
+		t.Fatalf("cache entries = %d, want 1", len(r.sortedKeys()))
+	}
+	b, err := r.emul("pmd", jvm.KGN, 1, workloads.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.sortedKeys()) != 1 {
+		t.Error("identical run was not served from cache")
+	}
+	if a.PCMWriteLines != b.PCMWriteLines {
+		t.Error("cached result differs")
+	}
+}
+
+func TestReductionSmoke(t *testing.T) {
+	// One end-to-end reduction check: KG-W must cut PCM writes vs the
+	// PCM-Only reference for a DaCapo profile.
+	r := NewRunner(Config{Scale: Quick, Seed: 1})
+	base, err := r.reference(0, "pmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgw, err := r.emul("pmd", jvm.KGW, 1, workloads.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kgw.PCMWriteLines >= base.PCMWriteLines {
+		t.Errorf("KG-W writes %d not below PCM-Only %d",
+			kgw.PCMWriteLines, base.PCMWriteLines)
+	}
+}
+
+func TestSuiteApps(t *testing.T) {
+	r := NewRunner(Config{Scale: Quick, Seed: 1})
+	if got := r.suiteApps(workloads.Pjbb); len(got) != 1 || got[0] != "pjbb" {
+		t.Errorf("pjbb suite = %v", got)
+	}
+	if got := r.suiteApps(workloads.GraphChi); len(got) != 3 {
+		t.Errorf("graphchi suite = %v", got)
+	}
+	if got := r.allApps(); len(got) != len(r.cfg.dacapoApps())+4 {
+		t.Errorf("allApps = %v", got)
+	}
+}

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/jvm"
+	"repro/internal/lifetime"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Fig3Row compares one GraphChi application across languages and
+// collectors (writes normalized to the C++ implementation).
+type Fig3Row struct {
+	App        string
+	CppWrites  uint64
+	JavaOverC  float64 // Java PCM-Only / C++
+	KGNOverC   float64
+	KGWOverC   float64
+	AllocRatio float64 // Java allocation volume / C++ (memcheck analog)
+	CppPeakMB  float64 // massif analog
+	JavaPeakMB float64
+}
+
+// Fig3 reproduces the language comparison: PCM writes of the C++ and
+// Java GraphChi implementations on PCM-Only, and Java under KG-N and
+// KG-W on hybrid memory.
+func (r *Runner) Fig3() ([]Fig3Row, error) {
+	var rows []Fig3Row
+	for _, app := range []string{"PR", "CC", "ALS"} {
+		cpp, err := r.run(r.opts(core.Emulation), core.RunSpec{AppName: app, Native: true})
+		if err != nil {
+			return nil, err
+		}
+		java, err := r.emul(app, jvm.PCMOnly, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		kgn, err := r.emul(app, jvm.KGN, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		kgw, err := r.emul(app, jvm.KGW, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		cw := float64(cpp.PCMWriteLines)
+		rows = append(rows, Fig3Row{
+			App:        app,
+			CppWrites:  cpp.PCMWriteLines,
+			JavaOverC:  stats.Ratio(float64(java.PCMWriteLines), cw),
+			KGNOverC:   stats.Ratio(float64(kgn.PCMWriteLines), cw),
+			KGWOverC:   stats.Ratio(float64(kgw.PCMWriteLines), cw),
+			AllocRatio: stats.Ratio(float64(java.AllocBytes[0]), float64(cpp.AllocBytes[0])),
+			CppPeakMB:  float64(cpp.PeakResidentBytes[0]) / (1 << 20),
+			JavaPeakMB: float64(java.PeakResidentBytes[0]) / (1 << 20),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig3 renders the language-comparison figure as rows.
+func RenderFig3(rows []Fig3Row) string {
+	tb := stats.NewTable("Fig 3: PCM writes normalized to C++ (GraphChi)",
+		"App", "C++", "Java", "KG-N", "KG-W", "alloc Java/C++", "peak C++ MB", "peak Java MB")
+	for _, r := range rows {
+		tb.AddRowf(r.App, 1.0, r.JavaOverC, r.KGNOverC, r.KGWOverC,
+			r.AllocRatio, r.CppPeakMB, r.JavaPeakMB)
+	}
+	return tb.String()
+}
+
+// Fig4Series is the multiprogrammed write growth of one suite.
+type Fig4Series struct {
+	Label  string
+	Growth [3]float64 // PCM writes at N=1,2,4 normalized to N=1
+}
+
+// Fig4Result holds both panels of Fig 4.
+type Fig4Result struct {
+	PCMOnly []Fig4Series // panel (a)
+	KGW     []Fig4Series // panel (b)
+}
+
+// Fig4 reproduces the multiprogramming study: average PCM writes at
+// 1, 2, and 4 instances, normalized per application to its 1-instance
+// writes, averaged per suite, under PCM-Only and KG-W.
+func (r *Runner) Fig4() (Fig4Result, error) {
+	var res Fig4Result
+	counts := []int{1, 2, 4}
+	for _, plan := range []jvm.Kind{jvm.PCMOnly, jvm.KGW} {
+		var all [][3]float64
+		var series []Fig4Series
+		for _, suite := range []workloads.Suite{workloads.DaCapo, workloads.Pjbb, workloads.GraphChi} {
+			var perApp [][3]float64
+			for _, app := range r.suiteApps(suite) {
+				var g [3]float64
+				base := 0.0
+				for i, n := range counts {
+					run, err := r.emul(app, plan, n, 0)
+					if err != nil {
+						return res, err
+					}
+					w := float64(run.PCMWriteLines)
+					if i == 0 {
+						base = w
+					}
+					g[i] = stats.Ratio(w, base)
+				}
+				perApp = append(perApp, g)
+				all = append(all, g)
+			}
+			series = append(series, Fig4Series{Label: suite.String(), Growth: avg3(perApp)})
+		}
+		series = append(series, Fig4Series{Label: "All", Growth: avg3(all)})
+		if plan == jvm.PCMOnly {
+			res.PCMOnly = series
+		} else {
+			res.KGW = series
+		}
+	}
+	return res, nil
+}
+
+func avg3(xs [][3]float64) [3]float64 {
+	var out [3]float64
+	if len(xs) == 0 {
+		return out
+	}
+	for _, x := range xs {
+		for i := 0; i < 3; i++ {
+			out[i] += x[i]
+		}
+	}
+	for i := 0; i < 3; i++ {
+		out[i] /= float64(len(xs))
+	}
+	return out
+}
+
+// RenderFig4 renders both panels.
+func RenderFig4(res Fig4Result) string {
+	render := func(title string, series []Fig4Series) string {
+		tb := stats.NewTable(title, "Suite", "N=1", "N=2", "N=4")
+		for _, s := range series {
+			tb.AddRowf(s.Label, s.Growth[0], s.Growth[1], s.Growth[2])
+		}
+		return tb.String()
+	}
+	return render("Fig 4a: PCM writes vs instances (PCM-Only, normalized to N=1)", res.PCMOnly) +
+		render("Fig 4b: PCM writes vs instances (KG-W, normalized to N=1)", res.KGW)
+}
+
+// Fig5Result compares Pjbb and GraphChi to DaCapo on a PCM-Only
+// system: raw writes (a) and write rates (b), per instance count.
+type Fig5Result struct {
+	// WritesRel[suite][n]: suite-average PCM writes relative to the
+	// DaCapo average; suites are Pjbb (0) and GraphChi (1).
+	WritesRel [2][3]float64
+	RatesRel  [2][3]float64
+}
+
+// Fig5 reproduces the suite comparison.
+func (r *Runner) Fig5() (Fig5Result, error) {
+	var res Fig5Result
+	counts := []int{1, 2, 4}
+	suiteAvg := func(suite workloads.Suite, n int) (writes, rate float64, err error) {
+		var ws, rs []float64
+		for _, app := range r.suiteApps(suite) {
+			run, err := r.emul(app, jvm.PCMOnly, n, 0)
+			if err != nil {
+				return 0, 0, err
+			}
+			ws = append(ws, float64(run.PCMWriteLines))
+			rs = append(rs, run.PCMRateMBs())
+		}
+		return stats.Mean(ws), stats.Mean(rs), nil
+	}
+	for ni, n := range counts {
+		dw, dr, err := suiteAvg(workloads.DaCapo, n)
+		if err != nil {
+			return res, err
+		}
+		for si, suite := range []workloads.Suite{workloads.Pjbb, workloads.GraphChi} {
+			w, rt, err := suiteAvg(suite, n)
+			if err != nil {
+				return res, err
+			}
+			res.WritesRel[si][ni] = stats.Ratio(w, dw)
+			res.RatesRel[si][ni] = stats.Ratio(rt, dr)
+		}
+	}
+	return res, nil
+}
+
+// RenderFig5 renders both panels.
+func RenderFig5(res Fig5Result) string {
+	tb := stats.NewTable("Fig 5a: PCM writes relative to DaCapo (PCM-Only)",
+		"Suite", "N=1", "N=2", "N=4")
+	tb.AddRowf("Pjbb", res.WritesRel[0][0], res.WritesRel[0][1], res.WritesRel[0][2])
+	tb.AddRowf("GraphChi", res.WritesRel[1][0], res.WritesRel[1][1], res.WritesRel[1][2])
+	out := tb.String()
+	tb2 := stats.NewTable("Fig 5b: PCM write rates relative to DaCapo (PCM-Only)",
+		"Suite", "N=1", "N=2", "N=4")
+	tb2.AddRowf("Pjbb", res.RatesRel[0][0], res.RatesRel[0][1], res.RatesRel[0][2])
+	tb2.AddRowf("GraphChi", res.RatesRel[1][0], res.RatesRel[1][1], res.RatesRel[1][2])
+	return out + tb2.String()
+}
+
+// Fig6Row is one application's write rates under the four collectors.
+type Fig6Row struct {
+	App     string
+	RateMBs [4]float64 // PCM-Only, KG-N, KG-B, KG-W
+}
+
+// Fig6 reproduces the write-rate figure: per-application PCM write
+// rates in MB/s against the recommended 140 MB/s line.
+func (r *Runner) Fig6() ([]Fig6Row, float64, error) {
+	kinds := []jvm.Kind{jvm.PCMOnly, jvm.KGN, jvm.KGB, jvm.KGW}
+	var rows []Fig6Row
+	for _, app := range r.allApps() {
+		row := Fig6Row{App: app}
+		for i, k := range kinds {
+			run, err := r.emul(app, k, 1, 0)
+			if err != nil {
+				return nil, 0, err
+			}
+			row.RateMBs[i] = run.PCMRateMBs()
+		}
+		rows = append(rows, row)
+	}
+	return rows, lifetime.PaperRecommendedRateMBs(), nil
+}
+
+// RenderFig6 renders the write-rate rows.
+func RenderFig6(rows []Fig6Row, recommended float64) string {
+	tb := stats.NewTable(
+		fmt.Sprintf("Fig 6: PCM write rates in MB/s (recommended limit %.0f MB/s)", recommended),
+		"App", "PCM-Only", "KG-N", "KG-B", "KG-W")
+	for _, r := range rows {
+		tb.AddRowf(r.App, r.RateMBs[0], r.RateMBs[1], r.RateMBs[2], r.RateMBs[3])
+	}
+	return tb.String()
+}
+
+// Fig7Row is one GraphChi application's writes under the seven
+// Kingsguard configurations, normalized to PCM-Only.
+type Fig7Row struct {
+	App string
+	// Normalized writes in order: KG-N, KG-B, KG-N+LOO, KG-B+LOO,
+	// KG-W, KG-W-LOO, KG-W-MDO.
+	Norm [7]float64
+}
+
+// Fig7Kinds is the collector order of Fig 7.
+var Fig7Kinds = []jvm.Kind{
+	jvm.KGN, jvm.KGB, jvm.KGNLOO, jvm.KGBLOO, jvm.KGW, jvm.KGWNoLOO, jvm.KGWNoMDO,
+}
+
+// Fig7 reproduces the Kingsguard study on GraphChi.
+func (r *Runner) Fig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, app := range []string{"PR", "CC", "ALS"} {
+		base, err := r.emul(app, jvm.PCMOnly, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{App: app}
+		for i, k := range Fig7Kinds {
+			run, err := r.emul(app, k, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			row.Norm[i] = stats.Ratio(float64(run.PCMWriteLines), float64(base.PCMWriteLines))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig7 renders the normalized writes.
+func RenderFig7(rows []Fig7Row) string {
+	tb := stats.NewTable("Fig 7: PCM writes normalized to PCM-Only (GraphChi)",
+		"App", "KG-N", "KG-B", "KG-N+LOO", "KG-B+LOO", "KG-W", "KG-W-LOO", "KG-W-MDO")
+	for _, r := range rows {
+		tb.AddRowf(r.App, r.Norm[0], r.Norm[1], r.Norm[2], r.Norm[3], r.Norm[4], r.Norm[5], r.Norm[6])
+	}
+	return tb.String()
+}
+
+// Fig8Row is one application's large-dataset rate ratio per collector.
+type Fig8Row struct {
+	App string
+	// RateRatio is rate(large)/rate(default) for PCM-Only, KG-N, KG-W.
+	RateRatio [3]float64
+	// WriteRatio is raw writes(large)/writes(default) under PCM-Only
+	// (the paper: 3.4x average, up to 10x).
+	WriteRatio float64
+}
+
+// Fig8 reproduces the dataset-size study over every application with
+// a large input.
+func (r *Runner) Fig8() ([]Fig8Row, error) {
+	kinds := []jvm.Kind{jvm.PCMOnly, jvm.KGN, jvm.KGW}
+	var rows []Fig8Row
+	for _, app := range r.allApps() {
+		probe := r.cfg.factory()(app)
+		if probe == nil || !probe.HasLargeDataset() {
+			continue
+		}
+		row := Fig8Row{App: app}
+		for i, k := range kinds {
+			def, err := r.emul(app, k, 1, workloads.Default)
+			if err != nil {
+				return nil, err
+			}
+			large, err := r.emul(app, k, 1, workloads.Large)
+			if err != nil {
+				return nil, err
+			}
+			row.RateRatio[i] = stats.Ratio(large.PCMRateMBs(), def.PCMRateMBs())
+			if k == jvm.PCMOnly {
+				row.WriteRatio = stats.Ratio(float64(large.PCMWriteLines), float64(def.PCMWriteLines))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig8 renders the dataset-size rows.
+func RenderFig8(rows []Fig8Row) string {
+	tb := stats.NewTable("Fig 8: PCM write rates with large datasets, normalized to default datasets",
+		"App", "PCM-Only", "KG-N", "KG-W", "raw-writes ratio (PCM-Only)")
+	for _, r := range rows {
+		tb.AddRowf(r.App, r.RateRatio[0], r.RateRatio[1], r.RateRatio[2], r.WriteRatio)
+	}
+	return tb.String()
+}

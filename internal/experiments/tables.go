@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/jvm"
+	"repro/internal/lifetime"
+	"repro/internal/objmodel"
+	"repro/internal/stats"
+)
+
+// TableIRow is one space row of the paper's Table I.
+type TableIRow struct {
+	Space string
+	// S0/S1 presence per collector column (KG-N, KG-W, KG-W-MDO).
+	KGN, KGW, KGWMDO [2]bool
+}
+
+// TableI reproduces the paper's Table I: the space-to-socket mapping
+// of the Kingsguard collectors. It is configuration, not measurement —
+// derived directly from the plan definitions.
+func TableI() []TableIRow {
+	cfg := jvm.PlanConfig{ThreadSocket: -1}
+	plans := map[string]jvm.Plan{
+		"KG-N":     jvm.NewPlan(jvm.KGN, cfg),
+		"KG-W":     jvm.NewPlan(jvm.KGW, cfg),
+		"KG-W-MDO": jvm.NewPlan(jvm.KGWNoMDO, cfg),
+	}
+	row := func(space string, f func(p jvm.Plan) [2]bool) TableIRow {
+		return TableIRow{
+			Space:  space,
+			KGN:    f(plans["KG-N"]),
+			KGW:    f(plans["KG-W"]),
+			KGWMDO: f(plans["KG-W-MDO"]),
+		}
+	}
+	return []TableIRow{
+		row("Nursery", func(p jvm.Plan) [2]bool {
+			n := p.Bindings[objmodel.SpaceNursery]
+			return [2]bool{n == 0, n == 1}
+		}),
+		row("Observer", func(p jvm.Plan) [2]bool {
+			if !p.UseObserver {
+				return [2]bool{}
+			}
+			n := p.Bindings[objmodel.SpaceObserver]
+			return [2]bool{n == 0, n == 1}
+		}),
+		row("Mature", func(p jvm.Plan) [2]bool {
+			_, dram := p.Bindings[objmodel.SpaceMatureDRAM]
+			return [2]bool{dram, true}
+		}),
+		row("Large", func(p jvm.Plan) [2]bool {
+			_, dram := p.Bindings[objmodel.SpaceLargeDRAM]
+			return [2]bool{dram, true}
+		}),
+		// The Metadata row follows the paper's reading: S0 holds PCM
+		// objects' metadata only under the MetaData Optimization.
+		row("Metadata", func(p jvm.Plan) [2]bool {
+			return [2]bool{p.MDO, true}
+		}),
+	}
+}
+
+// RenderTableI renders Table I in the paper's layout.
+func RenderTableI() string {
+	t := stats.NewTable("Table I: Kingsguard space-to-socket mapping",
+		"Space", "KG-N S0", "KG-N S1", "KG-W S0", "KG-W S1", "KG-W-MDO S0", "KG-W-MDO S1")
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	for _, r := range TableI() {
+		t.AddRow(r.Space,
+			mark(r.KGN[0]), mark(r.KGN[1]),
+			mark(r.KGW[0]), mark(r.KGW[1]),
+			mark(r.KGWMDO[0]), mark(r.KGWMDO[1]))
+	}
+	return t.String()
+}
+
+// TableIIRow is one collector's reduction pair.
+type TableIIRow struct {
+	Collector     string
+	SimReduction  float64 // % PCM-write reduction vs PCM-Only, simulation
+	EmulReduction float64 // same, emulation
+}
+
+// TableIIResult is the emulation-vs-simulation validation (§V).
+type TableIIResult struct {
+	Rows []TableIIRow
+	// KG-B vs KG-N total memory writes (paper: 1.98x sim, 2.2x emul).
+	SimKGBTotalOverKGN  float64
+	EmulKGBTotalOverKGN float64
+	// KG-W performance overhead over KG-N (paper: 7% sim, 10% emul).
+	SimKGWOverheadPct  float64
+	EmulKGWOverheadPct float64
+	Apps               []string
+}
+
+// tableIIApps is the 7-benchmark subset the paper's simulator could
+// run (trimmed in Quick mode).
+func (r *Runner) tableIIApps() []string {
+	if r.cfg.Scale == Quick {
+		return []string{"lusearch", "xalan", "pmd"}
+	}
+	return []string{"lusearch", "lu.Fix", "avrora", "xalan", "pmd", "pmd.S", "bloat"}
+}
+
+// TableII runs the paper's validation: per-benchmark PCM-write
+// reductions of KG-N, KG-B, and KG-W against the PCM-Only reference,
+// measured independently by both pipelines.
+func (r *Runner) TableII() (TableIIResult, error) {
+	apps := r.tableIIApps()
+	res := TableIIResult{Apps: apps}
+	kinds := []jvm.Kind{jvm.KGN, jvm.KGB, jvm.KGW}
+
+	type modeAgg struct {
+		reductions map[jvm.Kind][]float64
+		kgbTotal   []float64
+		overhead   []float64
+	}
+	measure := func(mode core.Mode) (modeAgg, error) {
+		agg := modeAgg{reductions: map[jvm.Kind][]float64{}}
+		for _, app := range apps {
+			base, err := r.reference(mode, app)
+			if err != nil {
+				return agg, err
+			}
+			perKind := map[jvm.Kind]core.Result{}
+			for _, k := range kinds {
+				var kg core.Result
+				if mode == core.Emulation {
+					kg, err = r.emul(app, k, 1, 0)
+				} else {
+					kg, err = r.sim(app, k)
+				}
+				if err != nil {
+					return agg, err
+				}
+				perKind[k] = kg
+				agg.reductions[k] = append(agg.reductions[k],
+					stats.PercentReduction(float64(base.PCMWriteLines), float64(kg.PCMWriteLines)))
+			}
+			agg.kgbTotal = append(agg.kgbTotal,
+				stats.Ratio(float64(perKind[jvm.KGB].TotalWriteLines()), float64(perKind[jvm.KGN].TotalWriteLines())))
+			agg.overhead = append(agg.overhead,
+				100*(stats.Ratio(perKind[jvm.KGW].Seconds, perKind[jvm.KGN].Seconds)-1))
+		}
+		return agg, nil
+	}
+
+	simAgg, err := measure(core.Simulation)
+	if err != nil {
+		return res, err
+	}
+	emulAgg, err := measure(core.Emulation)
+	if err != nil {
+		return res, err
+	}
+	for _, k := range kinds {
+		res.Rows = append(res.Rows, TableIIRow{
+			Collector:     k.String(),
+			SimReduction:  stats.Mean(simAgg.reductions[k]),
+			EmulReduction: stats.Mean(emulAgg.reductions[k]),
+		})
+	}
+	res.SimKGBTotalOverKGN = stats.Mean(simAgg.kgbTotal)
+	res.EmulKGBTotalOverKGN = stats.Mean(emulAgg.kgbTotal)
+	res.SimKGWOverheadPct = stats.Mean(simAgg.overhead)
+	res.EmulKGWOverheadPct = stats.Mean(emulAgg.overhead)
+	return res, nil
+}
+
+// Render renders Table II plus the §V side findings.
+func (t TableIIResult) Render() string {
+	tb := stats.NewTable("Table II: PCM-write reduction vs PCM-Only (simulation vs emulation)",
+		"Collector", "Simulator", "Emulator")
+	for _, row := range t.Rows {
+		tb.AddRow(row.Collector,
+			fmt.Sprintf("%.0f%%", row.SimReduction),
+			fmt.Sprintf("%.0f%%", row.EmulReduction))
+	}
+	out := tb.String()
+	out += fmt.Sprintf("KG-B/KG-N total memory writes: sim %.2fx, emul %.2fx (paper: 1.98x / 2.2x)\n",
+		t.SimKGBTotalOverKGN, t.EmulKGBTotalOverKGN)
+	out += fmt.Sprintf("KG-W overhead over KG-N:       sim %.1f%%, emul %.1f%% (paper: 7%% / 10%%)\n",
+		t.SimKGWOverheadPct, t.EmulKGWOverheadPct)
+	return out
+}
+
+// TableIIIResult is the lifetime study.
+type TableIIIResult struct {
+	// Years[n][e][p]: worst-case lifetime for instance count index n
+	// (0->N=1, 1->N=4), endurance index e (10/30/50M), plan index p
+	// (0=PCM-Only, 1=KG-W).
+	Years [2][3][2]float64
+	// WorstApp names the rate-dominating benchmark per cell.
+	WorstApp [2][2]string
+}
+
+// TableIII reproduces the lifetime table: worst-case PCM lifetime in
+// years across the benchmarks, for single-program and four-instance
+// workloads under PCM-Only and KG-W, at the three endurance levels.
+func (r *Runner) TableIII() (TableIIIResult, error) {
+	var res TableIIIResult
+	endurances := []float64{
+		lifetime.Prototype1Endurance,
+		lifetime.Prototype2Endurance,
+		lifetime.Prototype3Endurance,
+	}
+	plans := []jvm.Kind{jvm.PCMOnly, jvm.KGW}
+	instances := []int{1, 4}
+	for ni, n := range instances {
+		for pi, plan := range plans {
+			worstRate := 0.0
+			worstApp := ""
+			for _, app := range r.allApps() {
+				run, err := r.emul(app, plan, n, 0)
+				if err != nil {
+					return res, err
+				}
+				if rate := run.PCMRateMBs(); rate > worstRate {
+					worstRate = rate
+					worstApp = app
+				}
+			}
+			res.WorstApp[ni][pi] = worstApp
+			for ei, e := range endurances {
+				res.Years[ni][ei][pi] = lifetime.YearsFromMBs(
+					lifetime.DefaultPCMBytes, e, worstRate,
+					lifetime.DefaultWearLevelingEfficiency)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render renders Table III in the paper's layout.
+func (t TableIIIResult) Render() string {
+	tb := stats.NewTable("Table III: worst-case PCM lifetime in years (32 GB, 50% wear-leveling efficiency)",
+		"Workload",
+		"P1 PCM-Only", "P1 KG-W",
+		"P2 PCM-Only", "P2 KG-W",
+		"P3 PCM-Only", "P3 KG-W")
+	names := []string{"N = 1", "N = 4"}
+	for ni, name := range names {
+		tb.AddRow(name,
+			fmt.Sprintf("%.0f", t.Years[ni][0][0]), fmt.Sprintf("%.0f", t.Years[ni][0][1]),
+			fmt.Sprintf("%.0f", t.Years[ni][1][0]), fmt.Sprintf("%.0f", t.Years[ni][1][1]),
+			fmt.Sprintf("%.0f", t.Years[ni][2][0]), fmt.Sprintf("%.0f", t.Years[ni][2][1]))
+	}
+	out := tb.String()
+	out += fmt.Sprintf("worst-case apps: N=1 %s/%s, N=4 %s/%s\n",
+		t.WorstApp[0][0], t.WorstApp[0][1], t.WorstApp[1][0], t.WorstApp[1][1])
+	return out
+}

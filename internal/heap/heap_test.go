@@ -1,0 +1,328 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/objmodel"
+)
+
+// fakeMem records mmap/mbind calls without a real kernel.
+type fakeMem struct {
+	maps  []string
+	binds map[uint64]int
+	fail  bool
+}
+
+func newFakeMem() *fakeMem { return &fakeMem{binds: map[uint64]int{}} }
+
+func (f *fakeMem) MMap(start, length uint64, node int) error {
+	if f.fail {
+		return errFake
+	}
+	f.maps = append(f.maps, "map")
+	return nil
+}
+
+func (f *fakeMem) MBind(start, length uint64, node int) error {
+	f.binds[start] = node
+	return nil
+}
+
+func (f *fakeMem) MUnmap(start, length uint64) error {
+	f.maps = append(f.maps, "unmap")
+	return nil
+}
+
+type fakeErr string
+
+func (e fakeErr) Error() string { return string(e) }
+
+var errFake = fakeErr("fake mmap failure")
+
+func defaultLayout(t *testing.T) Layout {
+	t.Helper()
+	l, err := NewLayout(4<<20, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l := defaultLayout(t)
+	if l.NurseryStart != l.DRAMEnd-4<<20 {
+		t.Errorf("nursery start = %#x", l.NurseryStart)
+	}
+	if l.ObserverStart != l.NurseryStart-8<<20 {
+		t.Errorf("observer start = %#x", l.ObserverStart)
+	}
+	if l.ChunkedHiEnd%ChunkBytes != 0 {
+		t.Errorf("chunked-hi end %#x not chunk aligned", l.ChunkedHiEnd)
+	}
+	if l.ChunkedHiEnd > l.ObserverStart {
+		t.Errorf("chunked range overlaps observer: %#x > %#x", l.ChunkedHiEnd, l.ObserverStart)
+	}
+	if l.MetaExtraEnd > HeapBase {
+		t.Errorf("metadata regions overrun heap base: %#x", l.MetaExtraEnd)
+	}
+}
+
+func TestLayoutBoundaryPredicates(t *testing.T) {
+	l := defaultLayout(t)
+	if !l.InNursery(l.NurseryStart) || !l.InNursery(l.DRAMEnd-1) {
+		t.Error("nursery bounds wrong")
+	}
+	if l.InNursery(l.NurseryStart - 1) {
+		t.Error("observer address classified as nursery")
+	}
+	if !l.InYoung(l.ObserverStart) {
+		t.Error("observer should be young")
+	}
+	if l.InYoung(l.ObserverStart - 1) {
+		t.Error("mature address classified as young")
+	}
+	if !l.PCMPortion(l.PCMStart) || l.PCMPortion(l.PCMEnd) {
+		t.Error("PCM portion bounds wrong")
+	}
+}
+
+func TestLayoutRejectsOversizedNursery(t *testing.T) {
+	if _, err := NewLayout(1<<30, 0); err == nil {
+		t.Error("nursery larger than DRAM portion should fail")
+	}
+	if _, err := NewLayout(0, 0); err == nil {
+		t.Error("zero nursery should fail")
+	}
+}
+
+func TestMarkByteAddrDisjointRegions(t *testing.T) {
+	l := defaultLayout(t)
+	lo := l.MarkByteAddr(l.PCMStart + 512)
+	hi := l.MarkByteAddr(l.PCMEnd + 512)
+	if lo < l.MetaLoStart || lo >= l.MetaLoEnd {
+		t.Errorf("PCM mark byte %#x outside meta-lo", lo)
+	}
+	if hi < l.MetaHiStart || hi >= l.MetaHiEnd {
+		t.Errorf("DRAM mark byte %#x outside meta-hi", hi)
+	}
+	mdo := l.MarkByteAddrMDO(l.PCMStart + 512)
+	if mdo < l.MetaExtraStart || mdo >= l.MetaExtraEnd {
+		t.Errorf("MDO mark byte %#x outside extra region", mdo)
+	}
+}
+
+// Property: distinct 256-byte granules have distinct mark bytes.
+func TestMarkByteInjectivityProperty(t *testing.T) {
+	l := defaultLayout(t)
+	f := func(a, b uint32) bool {
+		va := l.PCMStart + uint64(a)%((l.PCMEnd-l.PCMStart)/2)
+		vb := l.PCMStart + uint64(b)%((l.PCMEnd-l.PCMStart)/2)
+		if va/MarkGranule == vb/MarkGranule {
+			return l.MarkByteAddr(va) == l.MarkByteAddr(vb)
+		}
+		return l.MarkByteAddr(va) != l.MarkByteAddr(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeListAcquireRelease(t *testing.T) {
+	mem := newFakeMem()
+	fl := NewFreeList("lo", HeapBase, HeapBase+16*ChunkBytes, 1, mem)
+	a, err := fl.Acquire(objmodel.SpaceMaturePCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != HeapBase {
+		t.Errorf("first chunk at %#x, want %#x", a, uint64(HeapBase))
+	}
+	if got := mem.binds[a]; got != 1 {
+		t.Errorf("chunk bound to node %d, want 1", got)
+	}
+	b, err := fl.Acquire(objmodel.SpaceLargePCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a {
+		t.Error("second acquire returned the same chunk")
+	}
+	// Release + reacquire must recycle, not remap.
+	maps := len(mem.maps)
+	fl.Release(a)
+	c, err := fl.Acquire(objmodel.SpaceMatureDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Errorf("recycle returned %#x, want %#x", c, a)
+	}
+	if len(mem.maps) != maps {
+		t.Error("recycling a chunk performed a new mmap")
+	}
+	if fl.Recycles != 1 {
+		t.Errorf("Recycles = %d, want 1", fl.Recycles)
+	}
+}
+
+func TestFreeListExhaustion(t *testing.T) {
+	mem := newFakeMem()
+	fl := NewFreeList("lo", HeapBase, HeapBase+2*ChunkBytes, 1, mem)
+	for i := 0; i < 2; i++ {
+		if _, err := fl.Acquire(objmodel.SpaceMaturePCM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fl.Acquire(objmodel.SpaceMaturePCM); err == nil {
+		t.Error("exhausted list should fail")
+	} else if !strings.Contains(err.Error(), "exhausted") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestFreeListReleaseUnknownPanics(t *testing.T) {
+	fl := NewFreeList("lo", HeapBase, HeapBase+2*ChunkBytes, 1, newFakeMem())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fl.Release(0x1234)
+}
+
+func TestContiguousSpaceBumpAndReset(t *testing.T) {
+	mem := newFakeMem()
+	s, err := NewContiguousSpace(objmodel.SpaceNursery, 0x1000000, 0x1001000, 0, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, ok := s.Alloc(100)
+	if !ok || a1 != 0x1000000 {
+		t.Fatalf("first alloc = %#x ok=%v", a1, ok)
+	}
+	a2, ok := s.Alloc(100)
+	if !ok || a2 != 0x1000000+104 { // 100 rounded to 104
+		t.Fatalf("second alloc = %#x (want 8-byte aligned bump)", a2)
+	}
+	if s.Used() != 208 {
+		t.Errorf("used = %d, want 208", s.Used())
+	}
+	if _, ok := s.Alloc(1 << 20); ok {
+		t.Error("over-capacity alloc should fail")
+	}
+	s.Reset()
+	if s.Used() != 0 {
+		t.Error("reset did not clear usage")
+	}
+}
+
+func TestChunkedSpaceAllocSweep(t *testing.T) {
+	mem := newFakeMem()
+	fl := NewFreeList("lo", HeapBase, HeapBase+8*ChunkBytes, 1, mem)
+	s := NewChunkedSpace(objmodel.SpaceMaturePCM, fl, LineBytes)
+	a1, err := s.Alloc(300) // 2 lines
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Alloc(200) // 1 line
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 < a1+512 {
+		t.Errorf("overlap: %#x then %#x", a1, a2)
+	}
+	if s.Used() != 3*LineBytes {
+		t.Errorf("used = %d, want %d", s.Used(), 3*LineBytes)
+	}
+	// Sweep with only a2 live: a1's lines become reusable.
+	s.SweepPrepare()
+	s.SweepMark(a2, 200)
+	if rel := s.SweepFinish(); rel != 0 {
+		t.Errorf("released %d chunks, want 0 (a2 still live)", rel)
+	}
+	if s.Used() != LineBytes {
+		t.Errorf("used after sweep = %d, want %d", s.Used(), LineBytes)
+	}
+	a3, err := s.Alloc(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 >= HeapBase+ChunkBytes {
+		t.Error("freed lines were not reused within the first chunk")
+	}
+	// Sweep with nothing live: the chunk must go back to the list.
+	s.SweepPrepare()
+	if rel := s.SweepFinish(); rel != 1 {
+		t.Errorf("released %d chunks, want 1", rel)
+	}
+	if s.Chunks() != 0 {
+		t.Errorf("chunks = %d, want 0", s.Chunks())
+	}
+}
+
+func TestChunkedSpaceAcquiresNewChunkWhenFull(t *testing.T) {
+	mem := newFakeMem()
+	fl := NewFreeList("lo", HeapBase, HeapBase+8*ChunkBytes, 1, mem)
+	s := NewChunkedSpace(objmodel.SpaceLargePCM, fl, PageBytes)
+	// Fill one chunk exactly.
+	for i := 0; i < int(ChunkBytes/PageBytes); i++ {
+		if _, err := s.Alloc(PageBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Chunks() != 1 {
+		t.Fatalf("chunks = %d, want 1", s.Chunks())
+	}
+	if _, err := s.Alloc(PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if s.Chunks() != 2 {
+		t.Errorf("chunks = %d, want 2", s.Chunks())
+	}
+}
+
+func TestChunkedSpaceRejectsHugeObjects(t *testing.T) {
+	fl := NewFreeList("lo", HeapBase, HeapBase+8*ChunkBytes, 1, newFakeMem())
+	s := NewChunkedSpace(objmodel.SpaceLargePCM, fl, PageBytes)
+	if _, err := s.Alloc(ChunkBytes + 1); err == nil {
+		t.Error("object above chunk size should be rejected")
+	}
+	if _, err := s.Alloc(0); err == nil {
+		t.Error("zero-size alloc should be rejected")
+	}
+}
+
+// Property: allocations never overlap and always lie inside the
+// space's chunks.
+func TestChunkedAllocDisjointProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		fl := NewFreeList("lo", HeapBase, HeapBase+64*ChunkBytes, 1, newFakeMem())
+		s := NewChunkedSpace(objmodel.SpaceMaturePCM, fl, LineBytes)
+		type iv struct{ a, b uint64 }
+		var got []iv
+		for _, sz := range sizes {
+			size := uint64(sz%2048) + 1
+			addr, err := s.Alloc(size)
+			if err != nil {
+				return false
+			}
+			if !s.Contains(addr) {
+				return false
+			}
+			// Granule-rounded extent.
+			end := addr + (size+LineBytes-1)/LineBytes*LineBytes
+			for _, o := range got {
+				if addr < o.b && o.a < end {
+					return false
+				}
+			}
+			got = append(got, iv{addr, end})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+)
+
+func testMachine() *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.NodeBytes = 256 << 20
+	cfg.L1 = cache.Config{Name: "L1", Bytes: 1 << 10, Ways: 2}
+	cfg.L2 = cache.Config{Name: "L2", Bytes: 4 << 10, Ways: 4}
+	cfg.L3 = cache.Config{Name: "L3", Bytes: 16 << 10, Ways: 4}
+	return machine.New(cfg)
+}
+
+func simOS() Config {
+	return Config{EmulateOS: false}
+}
+
+func TestMMapAndAccess(t *testing.T) {
+	k := New(testMachine(), simOS())
+	var resident uint64
+	p := k.NewProcess("t", 0, func(p *Process) {
+		if err := p.AS.MMap(0x10000000, 1<<20, 0); err != nil {
+			t.Errorf("mmap: %v", err)
+		}
+		p.Access(0x10000000, 64, true)
+		resident = p.AS.Resident
+	})
+	if err := k.RunSolo(p, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if resident != 1 {
+		t.Errorf("resident pages = %d, want 1", resident)
+	}
+}
+
+func TestSegfault(t *testing.T) {
+	k := New(testMachine(), simOS())
+	p := k.NewProcess("t", 0, func(p *Process) {
+		p.Access(0xDEAD0000, 8, false)
+	})
+	err := k.RunSolo(p, RunConfig{})
+	if err == nil || !strings.Contains(err.Error(), "segmentation fault") {
+		t.Errorf("err = %v, want segmentation fault", err)
+	}
+}
+
+func TestMMapRejectsOverlapAndKernelRange(t *testing.T) {
+	k := New(testMachine(), simOS())
+	as := newAddressSpace(k)
+	if err := as.MMap(0x1000, 0x2000, NodeFirstTouch); err != nil {
+		t.Fatalf("mmap: %v", err)
+	}
+	if err := as.MMap(0x2000, 0x1000, NodeFirstTouch); err == nil {
+		t.Error("overlapping mmap should fail")
+	}
+	if err := as.MMap(KernelBase-0x1000, 0x2000, NodeFirstTouch); err == nil {
+		t.Error("mmap into kernel range should fail")
+	}
+	if err := as.MMap(0x1001, 0x1000, NodeFirstTouch); err == nil {
+		t.Error("unaligned mmap should fail")
+	}
+}
+
+func TestMBindPlacesPagesOnNode(t *testing.T) {
+	k := New(testMachine(), simOS())
+	p := k.NewProcess("t", 0, func(p *Process) {
+		const base, size = 0x20000000, uint64(1 << 20)
+		if err := p.AS.MMap(base, size, NodeFirstTouch); err != nil {
+			panic(err)
+		}
+		if err := p.AS.MBind(base, size, 1); err != nil {
+			panic(err)
+		}
+		// Stream writes over 4x the L3 to force evictions to node 1.
+		for i := uint64(0); i < 64<<10; i += 64 {
+			p.Access(base+i, 8, true)
+		}
+		for i := uint64(0); i < 64<<10; i += 64 {
+			p.Access(base+i, 8, true)
+		}
+	})
+	if err := k.RunSolo(p, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Machine().Node(1).WriteLines() == 0 {
+		t.Error("bound pages should write back to node 1")
+	}
+	if k.Machine().Node(0).WriteLines() != 0 {
+		t.Error("no traffic should reach node 0")
+	}
+}
+
+func TestMBindSplitsVMA(t *testing.T) {
+	k := New(testMachine(), simOS())
+	as := newAddressSpace(k)
+	if err := as.MMap(0x1000, 0x4000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MBind(0x2000, 0x1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := as.policyFor(0x1000); n != 0 {
+		t.Errorf("policy before split range = %d, want 0", n)
+	}
+	if n, _ := as.policyFor(0x2800); n != 1 {
+		t.Errorf("policy in split range = %d, want 1", n)
+	}
+	if n, _ := as.policyFor(0x3000); n != 0 {
+		t.Errorf("policy after split range = %d, want 0", n)
+	}
+	if err := as.MBind(0x900000, 0x1000, 1); err == nil {
+		t.Error("mbind of unmapped range should fail")
+	}
+}
+
+func TestFirstTouchPolicy(t *testing.T) {
+	k := New(testMachine(), simOS())
+	p := k.NewProcess("t", 1, func(p *Process) { // thread on socket 1
+		if err := p.AS.MMap(0x30000000, 1<<20, NodeFirstTouch); err != nil {
+			panic(err)
+		}
+		for i := uint64(0); i < 64<<10; i += 64 {
+			p.Access(0x30000000+i, 8, true)
+		}
+		for i := uint64(0); i < 64<<10; i += 64 {
+			p.Access(0x30000000+i, 8, true)
+		}
+	})
+	if err := k.RunSolo(p, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Machine().Node(1).WriteLines() == 0 {
+		t.Error("first-touch from socket 1 should place pages on node 1")
+	}
+	if k.Machine().Node(0).WriteLines() != 0 {
+		t.Error("node 0 should be untouched")
+	}
+}
+
+func TestPageZeroingOnlyInEmulateOS(t *testing.T) {
+	run := func(osCfg Config) uint64 {
+		k := New(testMachine(), osCfg)
+		p := k.NewProcess("t", 0, func(p *Process) {
+			if err := p.AS.MMap(0x10000000, 1<<20, 0); err != nil {
+				panic(err)
+			}
+			p.Access(0x10000000, 8, false) // single cold read
+		})
+		if err := k.RunSolo(p, RunConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		return k.ZeroedPages()
+	}
+	if got := run(simOS()); got != 0 {
+		t.Errorf("sim mode zeroed %d pages, want 0", got)
+	}
+	if got := run(DefaultConfig()); got != 1 {
+		t.Errorf("emulate-OS mode zeroed %d pages, want 1", got)
+	}
+}
+
+func TestMUnmapReleasesFrames(t *testing.T) {
+	k := New(testMachine(), simOS())
+	p := k.NewProcess("t", 0, func(p *Process) {
+		if err := p.AS.MMap(0x10000000, PageSize, 0); err != nil {
+			panic(err)
+		}
+		p.Access(0x10000000, 8, true)
+		if err := p.AS.MUnmap(0x10000000, PageSize); err != nil {
+			panic(err)
+		}
+		if p.AS.Resident != 0 {
+			t.Errorf("resident after munmap = %d", p.AS.Resident)
+		}
+		if err := p.AS.MUnmap(0x10000000, PageSize); err == nil {
+			t.Error("double munmap should fail")
+		}
+	})
+	if err := k.RunSolo(p, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerInterleavesByClock(t *testing.T) {
+	k := New(testMachine(), simOS())
+	order := []string{}
+	mk := func(name string, work int) *Process {
+		return k.NewProcess(name, 0, func(p *Process) {
+			for i := 0; i < work; i++ {
+				p.Compute(50_000) // one quantum each iteration
+				order = append(order, name)
+			}
+		})
+	}
+	a := mk("a", 4)
+	b := mk("b", 4)
+	if err := k.Run([]*Process{a, b}, RunConfig{QuantumCycles: 40_000}); err != nil {
+		t.Fatal(err)
+	}
+	// Min-clock scheduling must alternate a and b rather than running
+	// one to completion.
+	if order[0] == order[1] && order[1] == order[2] {
+		t.Errorf("scheduler did not interleave: %v", order)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	k := New(testMachine(), simOS())
+	barriers := 0
+	after := []string{}
+	mk := func(name string, pre int) *Process {
+		return k.NewProcess(name, 0, func(p *Process) {
+			p.Compute(pre)
+			p.Barrier()
+			after = append(after, name)
+		})
+	}
+	// b has far more pre-barrier work than a.
+	a := mk("a", 1000)
+	b := mk("b", 900_000)
+	err := k.Run([]*Process{a, b}, RunConfig{
+		QuantumCycles: 10_000,
+		OnBarrier:     func() { barriers++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barriers != 1 {
+		t.Errorf("OnBarrier fired %d times, want 1", barriers)
+	}
+	if len(after) != 2 {
+		t.Errorf("post-barrier work ran %d times, want 2", len(after))
+	}
+}
+
+func TestProcessPanicBecomesError(t *testing.T) {
+	k := New(testMachine(), simOS())
+	p := k.NewProcess("t", 0, func(p *Process) {
+		panic("deliberate")
+	})
+	err := k.RunSolo(p, RunConfig{})
+	if err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Errorf("err = %v, want panic text", err)
+	}
+}
+
+func TestNoiseInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoisePeriodSec = 1e-6 // very frequent for the test
+	k := New(testMachine(), cfg)
+	p := k.NewProcess("t", 0, func(p *Process) {
+		p.Compute(10_000_000) // ~5.5 ms of simulated time
+	})
+	if err := k.RunSolo(p, RunConfig{QuantumCycles: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Machine().Node(0).WriteLines() == 0 {
+		t.Error("kernel noise should write to node 0")
+	}
+}
+
+func TestOnQuantumReportsAdvancingTime(t *testing.T) {
+	k := New(testMachine(), simOS())
+	var times []float64
+	p := k.NewProcess("t", 0, func(p *Process) {
+		for i := 0; i < 10; i++ {
+			p.Compute(100_000)
+		}
+	})
+	err := k.RunSolo(p, RunConfig{
+		QuantumCycles: 50_000,
+		OnQuantum:     func(now float64) { times = append(times, now) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) < 2 {
+		t.Fatalf("OnQuantum fired %d times", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Errorf("time went backwards: %v", times)
+		}
+	}
+}
+
+func TestOOMIsReported(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NodeBytes = 1 << 20 // 1 MB per node
+	cfg.L1 = cache.Config{Name: "L1", Bytes: 1 << 10, Ways: 2}
+	cfg.L2 = cache.Config{Name: "L2", Bytes: 4 << 10, Ways: 4}
+	cfg.L3 = cache.Config{Name: "L3", Bytes: 16 << 10, Ways: 4}
+	k := New(machine.New(cfg), simOS())
+	p := k.NewProcess("t", 0, func(p *Process) {
+		if err := p.AS.MMap(0x10000000, 4<<20, 0); err != nil {
+			panic(err)
+		}
+		for off := uint64(0); off < 4<<20; off += PageSize {
+			p.Access(0x10000000+off, 8, true)
+		}
+	})
+	err := k.RunSolo(p, RunConfig{})
+	if err == nil || !strings.Contains(err.Error(), "out of physical memory") {
+		t.Errorf("err = %v, want OOM", err)
+	}
+}

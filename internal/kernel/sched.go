@@ -1,0 +1,315 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procAtBarrier
+	procFinished
+)
+
+// Process is a schedulable execution context: an address space, a
+// hardware thread binding, and a body function that issues memory
+// operations. Processes are cooperative coroutines — the kernel grants
+// the single execution token to one process at a time, so the whole
+// platform stays deterministic while multiprogrammed instances
+// interleave finely enough to contend in the shared L3.
+type Process struct {
+	Name string
+	k    *Kernel
+	AS   *AddressSpace
+	Th   *machine.Thread
+	pid  int
+
+	body       func(*Process)
+	state      procState
+	sliceStart float64 // thread cycles at quantum start
+	quantum    float64 // cycles per timeslice
+	grant      chan struct{}
+	yielded    chan struct{}
+	err        error
+	started    bool
+}
+
+// NewProcess creates a process bound to the given socket. Cores are
+// assigned round-robin by PID, mirroring an unpinned OS scheduler
+// spreading runnable threads over a socket.
+func (k *Kernel) NewProcess(name string, socketID int, body func(*Process)) *Process {
+	pid := k.nextPID
+	k.nextPID++
+	core := pid % k.m.Config().CoresPerSocket
+	p := &Process{
+		Name:    name,
+		k:       k,
+		AS:      newAddressSpace(k),
+		Th:      k.m.NewThread(name, socketID, core),
+		pid:     pid,
+		body:    body,
+		grant:   make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Err returns the process's terminal error, if any (segfault, OOM, or
+// a panic in the body).
+func (p *Process) Err() error { return p.err }
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.k }
+
+// Access performs a virtual-memory access of size bytes at va,
+// splitting at page boundaries, faulting pages in on first touch, and
+// yielding the CPU when the timeslice is exhausted.
+func (p *Process) Access(va uint64, size int, write bool) {
+	for size > 0 {
+		pa, err := p.AS.translate(va, p.Th)
+		if err != nil {
+			panic(err)
+		}
+		inPage := int(PageSize - va%PageSize)
+		n := size
+		if n > inPage {
+			n = inPage
+		}
+		p.Th.Access(pa, n, write)
+		va += uint64(n)
+		size -= n
+	}
+	p.maybeYield()
+}
+
+// AccessLines touches n consecutive 64-byte lines starting at the line
+// containing va. It is the bulk path (zeroing, copying, scanning) and
+// checks the timeslice every page.
+func (p *Process) AccessLines(va uint64, n int, write bool) {
+	va &^= machine.LineSize - 1
+	for n > 0 {
+		pa, err := p.AS.translate(va, p.Th)
+		if err != nil {
+			panic(err)
+		}
+		linesInPage := int((PageSize - va%PageSize) / machine.LineSize)
+		take := n
+		if take > linesInPage {
+			take = linesInPage
+		}
+		p.Th.AccessLines(pa, take, write)
+		va += uint64(take * machine.LineSize)
+		n -= take
+		p.maybeYield()
+	}
+}
+
+// Compute burns n compute units.
+func (p *Process) Compute(n int) {
+	p.Th.Compute(n)
+	p.maybeYield()
+}
+
+// Barrier blocks the process until every other live process has also
+// reached a barrier. The replay-compilation harness uses it to start
+// the measured iteration of all multiprogrammed instances at the same
+// time, as the paper's modified pcm-memory methodology does.
+func (p *Process) Barrier() {
+	p.state = procAtBarrier
+	p.yieldNow()
+}
+
+// Yield gives up the CPU voluntarily.
+func (p *Process) Yield() {
+	p.yieldNow()
+}
+
+func (p *Process) maybeYield() {
+	if p.quantum > 0 && p.Th.Cycles()-p.sliceStart >= p.quantum {
+		p.yieldNow()
+	}
+}
+
+func (p *Process) yieldNow() {
+	p.yielded <- struct{}{}
+	<-p.grant
+	p.sliceStart = p.Th.Cycles()
+}
+
+// run is the goroutine body wrapping the process function.
+func (p *Process) run() {
+	<-p.grant
+	p.sliceStart = p.Th.Cycles()
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok {
+				p.err = err
+			} else {
+				p.err = fmt.Errorf("process %s: panic: %v", p.Name, r)
+			}
+		}
+		p.state = procFinished
+		p.yielded <- struct{}{}
+	}()
+	p.state = procRunning
+	p.body(p)
+}
+
+// RunConfig controls a scheduling session.
+type RunConfig struct {
+	// QuantumCycles is the timeslice length in core cycles. The
+	// default (100k cycles ≈ 55 µs at 1.8 GHz) interleaves instances
+	// several times per nursery cycle so LLC contention is realistic.
+	QuantumCycles float64
+	// ThreadsPerProc is the number of logical threads each process
+	// represents, for SMT-contention accounting (the paper runs every
+	// benchmark with 4 application threads).
+	ThreadsPerProc int
+	// OnQuantum, if set, runs after every timeslice with the current
+	// simulated time (seconds). The write-rate monitor hooks in here.
+	OnQuantum func(nowSec float64)
+	// OnBarrier, if set, runs when all live processes reach a
+	// Barrier, before they are released.
+	OnBarrier func()
+}
+
+// Run schedules the processes until all have finished, picking the
+// runnable process with the smallest clock each quantum (keeping
+// concurrent instances time-aligned the way real parallel hardware
+// would). It returns the first process error encountered, after all
+// processes have stopped.
+func (k *Kernel) Run(procs []*Process, rc RunConfig) error {
+	if rc.QuantumCycles <= 0 {
+		rc.QuantumCycles = 100_000
+	}
+	if rc.ThreadsPerProc <= 0 {
+		rc.ThreadsPerProc = 1
+	}
+	for _, p := range procs {
+		p.quantum = rc.QuantumCycles
+	}
+
+	live := func() int {
+		n := 0
+		for _, p := range procs {
+			if p.state != procFinished {
+				n++
+			}
+		}
+		return n
+	}
+	updateLoad := func() {
+		// All workload processes run on the same socket in the
+		// paper's setups; account SMT load per socket.
+		loads := map[int]int{}
+		for _, p := range procs {
+			if p.state != procFinished {
+				loads[p.Th.Socket] += rc.ThreadsPerProc
+			}
+		}
+		for s := 0; s < k.m.Nodes(); s++ {
+			k.m.SetRunnable(s, loads[s])
+		}
+	}
+	updateLoad()
+
+	for live() > 0 {
+		// Pick the runnable (or not-yet-started) process with the
+		// smallest clock; ties break by PID for determinism.
+		var next *Process
+		for _, p := range procs {
+			switch p.state {
+			case procFinished, procAtBarrier:
+				continue
+			}
+			if next == nil || p.Th.Cycles() < next.Th.Cycles() {
+				next = p
+			}
+		}
+		if next == nil {
+			// Everyone live is at a barrier: release them.
+			if rc.OnBarrier != nil {
+				rc.OnBarrier()
+			}
+			for _, p := range procs {
+				if p.state == procAtBarrier {
+					p.state = procRunning
+				}
+			}
+			continue
+		}
+		if !next.started {
+			next.started = true
+			go next.run()
+		}
+		next.grant <- struct{}{}
+		<-next.yielded
+		if next.state == procFinished {
+			updateLoad()
+		}
+
+		now := k.minClockSec(procs)
+		k.injectNoise(now)
+		if rc.OnQuantum != nil {
+			rc.OnQuantum(now)
+		}
+	}
+
+	for _, p := range procs {
+		if p.err != nil {
+			return p.err
+		}
+	}
+	return nil
+}
+
+// minClockSec returns the smallest live clock, or the largest final
+// clock once everything has finished.
+func (k *Kernel) minClockSec(procs []*Process) float64 {
+	minLive := -1.0
+	maxAll := 0.0
+	for _, p := range procs {
+		s := p.Th.Seconds()
+		if s > maxAll {
+			maxAll = s
+		}
+		if p.state != procFinished && (minLive < 0 || s < minLive) {
+			minLive = s
+		}
+	}
+	if minLive >= 0 {
+		return minLive
+	}
+	return maxAll
+}
+
+// injectNoise writes the kernel's background traffic (timer ticks,
+// bookkeeping) directly to the noise node's memory. Only active in
+// emulate-OS mode; the simulation pipeline is noise-free.
+func (k *Kernel) injectNoise(nowSec float64) {
+	if !k.cfg.EmulateOS || k.cfg.NoisePeriodSec <= 0 {
+		return
+	}
+	if k.noiseNext == 0 {
+		k.noiseNext = k.cfg.NoisePeriodSec
+	}
+	node := k.m.Node(k.cfg.NoiseNode)
+	// Kernel structures live near the top of the node.
+	base := k.m.Config().NodeBytes - (16 << 20)
+	for nowSec >= k.noiseNext {
+		off := base + uint64(int(k.noiseNext/k.cfg.NoisePeriodSec)*4096)%(8<<20)
+		node.Write(off, uint64(k.cfg.NoiseLines))
+		k.noiseNext += k.cfg.NoisePeriodSec
+	}
+}
+
+// RunSolo runs a single process to completion with default scheduling.
+func (k *Kernel) RunSolo(p *Process, rc RunConfig) error {
+	return k.Run([]*Process{p}, rc)
+}

@@ -1,0 +1,62 @@
+// Package lifetime implements the paper's PCM lifetime model
+// (Equation 1): the years before a PCM main memory wears out, given
+// its size, per-cell endurance, and the observed write rate —
+//
+//	Y = S × E / (B × 2²⁵)
+//
+// with S the PCM size in bytes, E the endurance in writes per cell,
+// B the write rate in bytes per second, and 2²⁵ ≈ the number of
+// seconds in a year. The equation assumes perfect wear-leveling; the
+// paper follows prior work in assuming hardware wear-leveling that
+// achieves 50% of the theoretical maximum.
+//
+// The package also converts drive-writes-per-day (DWPD) limits into
+// recommended write rates: the paper derives its 140 MB/s line from a
+// 375 GB prototype rated at 30 DWPD.
+package lifetime
+
+// SecondsPerYearLog2 is the paper's 2^25 approximation of a year.
+const SecondsPerYearLog2 = 1 << 25
+
+// DefaultWearLevelingEfficiency is the fraction of theoretical
+// endurance a realistic start-gap-style wear-leveler achieves.
+const DefaultWearLevelingEfficiency = 0.5
+
+// Endurance levels (writes per cell) of the paper's three prototypes.
+const (
+	Prototype1Endurance = 10e6
+	Prototype2Endurance = 30e6
+	Prototype3Endurance = 50e6
+)
+
+// DefaultPCMBytes is the paper's assumed PCM main-memory size (32 GB).
+const DefaultPCMBytes = 32 << 30
+
+// Years returns the expected lifetime in years of a PCM memory of
+// sizeBytes with per-cell endurance written at rateBytesPerSec,
+// assuming the given wear-leveling efficiency (1.0 = perfect).
+func Years(sizeBytes uint64, endurance, rateBytesPerSec, wearEfficiency float64) float64 {
+	if rateBytesPerSec <= 0 {
+		return 0
+	}
+	perfect := float64(sizeBytes) * endurance / (rateBytesPerSec * SecondsPerYearLog2)
+	return perfect * wearEfficiency
+}
+
+// YearsFromMBs is Years with the rate in MB/s, the unit the monitor
+// reports.
+func YearsFromMBs(sizeBytes uint64, endurance, rateMBs, wearEfficiency float64) float64 {
+	return Years(sizeBytes, endurance, rateMBs*1e6, wearEfficiency)
+}
+
+// RecommendedRateMBs converts a vendor DWPD (drive writes per day)
+// rating into the maximum sustained write rate in MB/s.
+func RecommendedRateMBs(driveBytes uint64, dwpd float64) float64 {
+	return float64(driveBytes) * dwpd / 86400 / 1e6
+}
+
+// PaperRecommendedRateMBs is the paper's 140 MB/s line: a 375 GB
+// prototype at 30 DWPD.
+func PaperRecommendedRateMBs() float64 {
+	return RecommendedRateMBs(375<<30, 30)
+}

@@ -1,0 +1,77 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYearsKnownPoint(t *testing.T) {
+	// 32 GB at 10M writes/cell, perfect wear-leveling, 100 MB/s:
+	// Y = 32*2^30 * 1e7 / (1e8 * 2^25) = 102400 years / ... compute:
+	want := float64(32<<30) * 1e7 / (100e6 * float64(SecondsPerYearLog2))
+	got := Years(32<<30, 1e7, 100e6, 1.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Years = %v, want %v", got, want)
+	}
+}
+
+func TestWearLevelingHalvesLifetime(t *testing.T) {
+	perfect := Years(DefaultPCMBytes, Prototype1Endurance, 50e6, 1.0)
+	realistic := Years(DefaultPCMBytes, Prototype1Endurance, 50e6, DefaultWearLevelingEfficiency)
+	if math.Abs(realistic-perfect/2) > 1e-9 {
+		t.Errorf("50%% efficiency should halve lifetime: %v vs %v", realistic, perfect)
+	}
+}
+
+func TestZeroRate(t *testing.T) {
+	if Years(DefaultPCMBytes, Prototype1Endurance, 0, 0.5) != 0 {
+		t.Error("zero write rate should yield zero, not infinity")
+	}
+}
+
+func TestYearsFromMBs(t *testing.T) {
+	a := Years(DefaultPCMBytes, Prototype2Endurance, 140e6, 0.5)
+	b := YearsFromMBs(DefaultPCMBytes, Prototype2Endurance, 140, 0.5)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("unit conversion mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestPaperRecommendedRate(t *testing.T) {
+	// 375 GB at 30 DWPD is ~140 MB/s (the paper's line in Fig 6).
+	got := PaperRecommendedRateMBs()
+	if got < 135 || got > 145 {
+		t.Errorf("recommended rate = %.1f MB/s, want ~140", got)
+	}
+}
+
+// Property: lifetime scales linearly with endurance and inversely
+// with write rate.
+func TestScalingProperty(t *testing.T) {
+	f := func(e8, r8 uint8) bool {
+		e := float64(e8%50+1) * 1e6
+		r := float64(r8%200+1) * 1e6
+		base := Years(DefaultPCMBytes, e, r, 0.5)
+		doubleE := Years(DefaultPCMBytes, 2*e, r, 0.5)
+		doubleR := Years(DefaultPCMBytes, e, 2*r, 0.5)
+		return math.Abs(doubleE-2*base) < 1e-6 && math.Abs(doubleR-base/2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paper's Table III ordering — KG-W (lower write rate)
+// always yields a longer lifetime than PCM-Only at any endurance.
+func TestOrderingProperty(t *testing.T) {
+	f := func(rate uint16) bool {
+		r := float64(rate%1000+10) * 1e6
+		pcmOnly := Years(DefaultPCMBytes, Prototype1Endurance, r, 0.5)
+		kgw := Years(DefaultPCMBytes, Prototype1Endurance, r/3, 0.5)
+		return kgw > pcmOnly
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

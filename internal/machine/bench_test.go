@@ -1,0 +1,39 @@
+package machine
+
+import "testing"
+
+// BenchmarkAccessCached measures the full L1-hit path through the
+// machine (the platform's hottest operation).
+func BenchmarkAccessCached(b *testing.B) {
+	m := New(DefaultConfig())
+	th := m.NewThread("bench", 0, 0)
+	th.Access(0, 8, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Access(0, 8, true)
+	}
+}
+
+// BenchmarkAccessStreaming measures the miss+writeback path over a
+// working set far beyond the caches.
+func BenchmarkAccessStreaming(b *testing.B) {
+	m := New(DefaultConfig())
+	th := m.NewThread("bench", 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Access(uint64(i%(1<<24))*64, 8, true)
+	}
+}
+
+// BenchmarkAccessRemote measures accesses homed on the remote socket
+// (the PCM path, crossing QPI).
+func BenchmarkAccessRemote(b *testing.B) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	th := m.NewThread("bench", 0, 0)
+	base := cfg.NodeBytes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Access(base+uint64(i%(1<<24))*64, 8, true)
+	}
+}

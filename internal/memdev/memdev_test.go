@@ -1,0 +1,98 @@
+package memdev
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if DRAM.String() != "DRAM" || PCM.String() != "PCM" {
+		t.Errorf("Kind strings wrong: %v %v", DRAM, PCM)
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind string: %v", Kind(9))
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := New(Config{Kind: PCM, Bytes: 1 << 20})
+	d.Write(0, 3)
+	d.Read(64, 2)
+	if d.WriteLines() != 3 {
+		t.Errorf("WriteLines = %d, want 3", d.WriteLines())
+	}
+	if d.ReadLines() != 2 {
+		t.Errorf("ReadLines = %d, want 2", d.ReadLines())
+	}
+	if d.WriteBytes() != 3*LineSize {
+		t.Errorf("WriteBytes = %d, want %d", d.WriteBytes(), 3*LineSize)
+	}
+	if d.ReadBytes() != 2*LineSize {
+		t.Errorf("ReadBytes = %d, want %d", d.ReadBytes(), 2*LineSize)
+	}
+	d.ResetCounters()
+	if d.WriteLines() != 0 || d.ReadLines() != 0 {
+		t.Error("ResetCounters did not zero counters")
+	}
+}
+
+func TestWearTracking(t *testing.T) {
+	d := New(Config{Kind: PCM, Bytes: 64 * 4096, TrackWear: true})
+	// 64 lines = one full 4KB page.
+	d.Write(0, 64)
+	// One line in the second page.
+	d.Write(4096, 1)
+	w := d.WearSummary()
+	if !w.Tracked {
+		t.Fatal("wear should be tracked")
+	}
+	if w.Pages != 2 {
+		t.Errorf("worn pages = %d, want 2", w.Pages)
+	}
+	if w.MaxPage != 64 {
+		t.Errorf("max page wear = %d, want 64", w.MaxPage)
+	}
+	if w.AllPages != 64 {
+		t.Errorf("AllPages = %d, want 64", w.AllPages)
+	}
+}
+
+func TestWearSurvivesReset(t *testing.T) {
+	d := New(Config{Kind: PCM, Bytes: 16 * 4096, TrackWear: true})
+	d.Write(0, 1)
+	d.ResetCounters()
+	if got := d.WearSummary().Pages; got != 1 {
+		t.Errorf("wear pages after reset = %d, want 1", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	d := New(Config{Kind: DRAM, Bytes: 1 << 20})
+	d.Write(0, 5)
+	d.Read(0, 7)
+	s := d.Snapshot()
+	if s.WriteLines != 5 || s.ReadLines != 7 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	// Snapshot is a copy: further traffic must not alter it.
+	d.Write(0, 1)
+	if s.WriteLines != 5 {
+		t.Error("snapshot mutated by later writes")
+	}
+}
+
+// Property: write counters are additive over any sequence of writes.
+func TestWriteAdditivityProperty(t *testing.T) {
+	f := func(ns []uint8) bool {
+		d := New(Config{Kind: PCM, Bytes: 1 << 20})
+		var want uint64
+		for _, n := range ns {
+			d.Write(0, uint64(n))
+			want += uint64(n)
+		}
+		return d.WriteLines() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

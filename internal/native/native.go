@@ -1,0 +1,158 @@
+// Package native is the manual-memory-management runtime the paper's
+// C++ GraphChi applications run on: a size-class free-list allocator
+// (malloc/free) over a flat mmap'd heap.
+//
+// The differences from the managed runtime are exactly the ones the
+// paper measures in Fig 3:
+//
+//   - malloc does not zero memory, so allocation itself writes only
+//     the allocator header, not the payload (Java's zero-initialization
+//     is a large write source);
+//   - there is no garbage collector, hence no copying and no metadata
+//     marking;
+//   - freed blocks are recycled LIFO per size class, scattering fresh
+//     allocation across the heap instead of localizing it in a nursery,
+//     so hybrid placement cannot separate fresh from old data.
+//
+// The runtime also keeps the allocation and peak-heap accounting the
+// paper gathered with Valgrind's memcheck and massif.
+package native
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// HeapBase is where the malloc heap lives in the 32-bit process
+// layout ("system libraries use some amount of virtual memory for the
+// malloc heap").
+const HeapBase = 0x04000000
+
+// headerBytes is the allocator's per-block header (size + bin link).
+const headerBytes = 16
+
+// sizeClasses are the free-list bins, in bytes.
+var sizeClasses = []int{
+	16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768,
+	1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10,
+	128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
+}
+
+// Stats is the allocator's accounting, mirroring memcheck (total
+// allocation) and massif (peak heap).
+type Stats struct {
+	Mallocs     uint64
+	Frees       uint64
+	AllocBytes  uint64 // cumulative, memcheck-style
+	LiveBytes   uint64
+	PeakBytes   uint64 // massif-style peak
+	WildernessB uint64 // bytes taken from the wilderness (not recycled)
+}
+
+// Runtime is one C/C++ process's heap.
+type Runtime struct {
+	Proc  *kernel.Process
+	Stats Stats
+
+	limit  uint64
+	cursor uint64
+	bins   map[int][]uint64 // size class -> free block addresses (LIFO)
+	sizes  map[uint64]int   // live block -> class index
+}
+
+// NewRuntime maps a malloc heap of heapBytes bound to the given NUMA
+// node (the paper binds the whole C++ heap to the PCM socket for its
+// PCM-Only comparison).
+func NewRuntime(proc *kernel.Process, heapBytes uint64, node int) (*Runtime, error) {
+	heapBytes = (heapBytes + kernel.PageSize - 1) / kernel.PageSize * kernel.PageSize
+	if err := proc.AS.MMap(HeapBase, heapBytes, kernel.NodeFirstTouch); err != nil {
+		return nil, err
+	}
+	if err := proc.AS.MBind(HeapBase, heapBytes, node); err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		Proc:   proc,
+		limit:  HeapBase + heapBytes,
+		cursor: HeapBase,
+		bins:   map[int][]uint64{},
+		sizes:  map[uint64]int{},
+	}, nil
+}
+
+// classFor returns the smallest size-class index fitting size bytes.
+func classFor(size int) (int, error) {
+	for i, c := range sizeClasses {
+		if size <= c {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("native: allocation of %d bytes exceeds the largest size class", size)
+}
+
+// Malloc allocates size bytes and returns the payload address. Only
+// the allocator header is written — the payload is NOT zeroed.
+func (r *Runtime) Malloc(size int) uint64 {
+	if size <= 0 {
+		size = 1
+	}
+	ci, err := classFor(size)
+	if err != nil {
+		panic(err)
+	}
+	r.Stats.Mallocs++
+	r.Stats.AllocBytes += uint64(size)
+	r.Proc.Compute(24) // allocator bookkeeping
+
+	var block uint64
+	if bin := r.bins[ci]; len(bin) > 0 {
+		block = bin[len(bin)-1]
+		r.bins[ci] = bin[:len(bin)-1]
+	} else {
+		need := uint64(sizeClasses[ci] + headerBytes)
+		if r.cursor+need > r.limit {
+			panic(fmt.Errorf("native: heap exhausted at %d MB", (r.cursor-HeapBase)>>20))
+		}
+		block = r.cursor
+		r.cursor += (need + 15) &^ 15
+		r.Stats.WildernessB += need
+	}
+	// Header write: block size and bin linkage.
+	r.Proc.Access(block, headerBytes, true)
+	r.sizes[block] = ci
+	r.Stats.LiveBytes += uint64(sizeClasses[ci])
+	if r.Stats.LiveBytes > r.Stats.PeakBytes {
+		r.Stats.PeakBytes = r.Stats.LiveBytes
+	}
+	return block + headerBytes
+}
+
+// Free returns a block to its size-class bin.
+func (r *Runtime) Free(addr uint64) {
+	block := addr - headerBytes
+	ci, ok := r.sizes[block]
+	if !ok {
+		panic(fmt.Errorf("native: free of unallocated address %#x", addr))
+	}
+	delete(r.sizes, block)
+	r.Stats.Frees++
+	r.Stats.LiveBytes -= uint64(sizeClasses[ci])
+	r.Proc.Compute(16)
+	// Freelist link write in the block header.
+	r.Proc.Access(block, headerBytes, true)
+	r.bins[ci] = append(r.bins[ci], block)
+}
+
+// Write models a store of size bytes at addr+off.
+func (r *Runtime) Write(addr uint64, off, size int) {
+	r.Proc.Access(addr+uint64(off), size, true)
+}
+
+// Read models a load of size bytes at addr+off.
+func (r *Runtime) Read(addr uint64, off, size int) {
+	r.Proc.Access(addr+uint64(off), size, false)
+}
+
+// LiveBlocks reports the number of live allocations (leak check).
+func (r *Runtime) LiveBlocks() int { return len(r.sizes) }

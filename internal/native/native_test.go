@@ -1,0 +1,138 @@
+package native
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+func run(t *testing.T, body func(r *Runtime)) (*machine.Machine, *Runtime) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.NodeBytes = 2 << 30
+	m := machine.New(cfg)
+	k := kernel.New(m, kernel.Config{EmulateOS: false})
+	var rt *Runtime
+	p := k.NewProcess("cpp", 1, func(p *kernel.Process) {
+		r, err := NewRuntime(p, 256<<20, 1)
+		if err != nil {
+			panic(err)
+		}
+		rt = r
+		body(r)
+	})
+	if err := k.RunSolo(p, kernel.RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	return m, rt
+}
+
+func TestMallocFreeRecycle(t *testing.T) {
+	_, rt := run(t, func(r *Runtime) {
+		a := r.Malloc(100)
+		if a == 0 {
+			t.Fatal("malloc returned 0")
+		}
+		r.Free(a)
+		b := r.Malloc(100)
+		if b != a {
+			t.Errorf("LIFO recycle expected %#x, got %#x", a, b)
+		}
+	})
+	if rt.Stats.Mallocs != 2 || rt.Stats.Frees != 1 {
+		t.Errorf("stats = %+v", rt.Stats)
+	}
+}
+
+func TestMallocDistinctBlocks(t *testing.T) {
+	_, _ = run(t, func(r *Runtime) {
+		seen := map[uint64]bool{}
+		for i := 0; i < 100; i++ {
+			a := r.Malloc(64)
+			if seen[a] {
+				t.Fatalf("block %#x handed out twice", a)
+			}
+			seen[a] = true
+		}
+	})
+}
+
+func TestNoZeroInitWrites(t *testing.T) {
+	// A large malloc must write only the header, not the payload:
+	// the key allocation-volume difference from the managed runtime.
+	m, _ := run(t, func(r *Runtime) {
+		r.Malloc(1 << 20)
+	})
+	m.DrainCaches()
+	// Header is 16 bytes -> a single line write (plus nothing else).
+	if w := m.Node(1).WriteLines(); w > 4 {
+		t.Errorf("malloc of 1MB wrote %d lines; payload must not be zeroed", w)
+	}
+}
+
+func TestAccountingPeak(t *testing.T) {
+	_, rt := run(t, func(r *Runtime) {
+		a := r.Malloc(1 << 20)
+		b := r.Malloc(1 << 20)
+		r.Free(a)
+		r.Free(b)
+		c := r.Malloc(512 << 10)
+		_ = c
+	})
+	if rt.Stats.AllocBytes != (2<<20)+(512<<10) {
+		t.Errorf("AllocBytes = %d", rt.Stats.AllocBytes)
+	}
+	if rt.Stats.PeakBytes != 2<<20 {
+		t.Errorf("PeakBytes = %d, want %d", rt.Stats.PeakBytes, 2<<20)
+	}
+	if rt.LiveBlocks() != 1 {
+		t.Errorf("LiveBlocks = %d, want 1", rt.LiveBlocks())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	_, _ = run(t, func(r *Runtime) {
+		a := r.Malloc(64)
+		r.Free(a)
+		defer func() {
+			if recover() == nil {
+				t.Error("double free should panic")
+			}
+		}()
+		r.Free(a)
+	})
+}
+
+func TestHeapBoundToNode(t *testing.T) {
+	m, _ := run(t, func(r *Runtime) {
+		// Stream a working set far larger than the caches.
+		a := r.Malloc(4 << 20)
+		for pass := 0; pass < 2; pass++ {
+			for off := 0; off < 64<<20; off += 64 {
+				r.Write(a, off%(4<<20), 8)
+			}
+		}
+	})
+	m.DrainCaches()
+	if m.Node(1).WriteLines() == 0 {
+		t.Error("heap writes must land on the bound node 1")
+	}
+	if m.Node(0).WriteLines() != 0 {
+		t.Error("no writes should reach node 0")
+	}
+}
+
+func TestWritesThroughCache(t *testing.T) {
+	m, _ := run(t, func(r *Runtime) {
+		a := r.Malloc(4 << 10)
+		for i := 0; i < 1000; i++ {
+			r.Write(a, 0, 8)
+		}
+	})
+	// Without draining, the hot line stays in cache: at most the
+	// header + one payload line could have leaked.
+	if w := m.Node(1).WriteLines(); w > 2 {
+		t.Errorf("repeated same-line writes leaked %d lines to memory", w)
+	}
+}

@@ -1,0 +1,177 @@
+// Package pcmmon is the platform's analogue of the pcm-memory utility
+// from Intel's Performance Counter Monitor framework, with the paper's
+// two modifications: support for multiprogrammed workloads (all
+// instances barrier-synchronize before the measured iteration) and
+// compatibility with replay compilation (counters are snapshotted at
+// the start of the measured iteration).
+//
+// The monitor runs on socket 0 — the paper found that scheduling it
+// there gives more deterministic measurements — and, like the real
+// tool, perturbs the socket it runs on: every sample writes a few
+// lines of its own bookkeeping to node 0. Emulation experiments must
+// isolate such system-level effects exactly as the paper's reference
+// setup does.
+package pcmmon
+
+import (
+	"repro/internal/machine"
+	"repro/internal/memdev"
+)
+
+// Sample is one periodic reading of both sockets' memory-controller
+// counters.
+type Sample struct {
+	TimeSec float64
+	Nodes   []memdev.Snapshot
+}
+
+// Config controls the monitor.
+type Config struct {
+	// PeriodSec is the sampling period in simulated seconds.
+	PeriodSec float64
+	// SelfNoiseLines is the monitor's own write traffic per sample.
+	SelfNoiseLines int
+	// NoiseNode is where the monitor's writes land (socket 0 in the
+	// paper's setup).
+	NoiseNode int
+}
+
+// DefaultConfig matches the paper's usage: 10 ms sampling, monitor on
+// socket 0.
+func DefaultConfig() Config {
+	return Config{PeriodSec: 0.010, SelfNoiseLines: 12, NoiseNode: 0}
+}
+
+// Monitor samples a machine's memory controllers over simulated time.
+type Monitor struct {
+	cfg     Config
+	m       *machine.Machine
+	samples []Sample
+	next    float64
+
+	measuring  bool
+	startTime  float64
+	lastTime   float64
+	startSnaps []memdev.Snapshot
+	endSnaps   []memdev.Snapshot
+}
+
+// New returns a monitor for the machine.
+func New(m *machine.Machine, cfg Config) *Monitor {
+	if cfg.PeriodSec <= 0 {
+		cfg.PeriodSec = 0.010
+	}
+	return &Monitor{cfg: cfg, m: m}
+}
+
+// OnQuantum is the kernel scheduler hook: it takes samples whenever
+// simulated time crosses sampling boundaries.
+func (mon *Monitor) OnQuantum(nowSec float64) {
+	mon.lastTime = nowSec
+	if mon.next == 0 {
+		mon.next = mon.cfg.PeriodSec
+	}
+	for nowSec >= mon.next {
+		mon.sample(mon.next)
+		mon.next += mon.cfg.PeriodSec
+	}
+}
+
+func (mon *Monitor) sample(at float64) {
+	snaps := make([]memdev.Snapshot, mon.m.Nodes())
+	for n := 0; n < mon.m.Nodes(); n++ {
+		snaps[n] = mon.m.Node(n).Snapshot()
+	}
+	mon.samples = append(mon.samples, Sample{TimeSec: at, Nodes: snaps})
+	// The monitor's own bookkeeping writes.
+	if mon.cfg.SelfNoiseLines > 0 {
+		node := mon.m.Node(mon.cfg.NoiseNode)
+		base := mon.m.Config().NodeBytes - (32 << 20)
+		node.Write(base+uint64(len(mon.samples)%1024)*4096, uint64(mon.cfg.SelfNoiseLines))
+	}
+}
+
+// StartMeasurement snapshots the counters at the beginning of the
+// measured iteration (the replay-compilation barrier point).
+func (mon *Monitor) StartMeasurement(nowSec float64) {
+	mon.measuring = true
+	mon.startTime = nowSec
+	mon.startSnaps = make([]memdev.Snapshot, mon.m.Nodes())
+	for n := 0; n < mon.m.Nodes(); n++ {
+		mon.startSnaps[n] = mon.m.Node(n).Snapshot()
+	}
+}
+
+// StopMeasurement snapshots the counters at the end of the measured
+// iteration. When never called, Report uses the last sample time.
+func (mon *Monitor) StopMeasurement(nowSec float64) {
+	mon.endSnaps = make([]memdev.Snapshot, mon.m.Nodes())
+	for n := 0; n < mon.m.Nodes(); n++ {
+		mon.endSnaps[n] = mon.m.Node(n).Snapshot()
+	}
+	mon.lastTime = nowSec
+}
+
+// Report is the measured iteration's traffic summary.
+type Report struct {
+	Seconds    float64
+	WriteLines []uint64 // per node
+	ReadLines  []uint64
+}
+
+// WriteBytes returns the written bytes on a node.
+func (r Report) WriteBytes(node int) uint64 {
+	return r.WriteLines[node] * memdev.LineSize
+}
+
+// WriteRateMBs returns the node's write rate in MB/s — the paper's
+// headline metric (PCM lifetime is inversely proportional to it).
+func (r Report) WriteRateMBs(node int) float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.WriteBytes(node)) / 1e6 / r.Seconds
+}
+
+// Report computes the measured-iteration deltas. Without an explicit
+// StartMeasurement the whole run counts (zero baseline).
+func (mon *Monitor) Report() Report {
+	if mon.startSnaps == nil {
+		mon.startSnaps = make([]memdev.Snapshot, mon.m.Nodes())
+		mon.startTime = 0
+	}
+	end := mon.endSnaps
+	if end == nil {
+		end = make([]memdev.Snapshot, mon.m.Nodes())
+		for n := 0; n < mon.m.Nodes(); n++ {
+			end[n] = mon.m.Node(n).Snapshot()
+		}
+	}
+	rep := Report{Seconds: mon.lastTime - mon.startTime}
+	for n := range end {
+		rep.WriteLines = append(rep.WriteLines, end[n].WriteLines-mon.startSnaps[n].WriteLines)
+		rep.ReadLines = append(rep.ReadLines, end[n].ReadLines-mon.startSnaps[n].ReadLines)
+	}
+	return rep
+}
+
+// Samples returns the time series collected so far (for rate-over-time
+// views, as pcm-memory prints).
+func (mon *Monitor) Samples() []Sample { return mon.samples }
+
+// RateSeries derives per-interval write rates (MB/s) for one node from
+// the sample series.
+func (mon *Monitor) RateSeries(node int) []float64 {
+	var out []float64
+	for i := 1; i < len(mon.samples); i++ {
+		prev, cur := mon.samples[i-1], mon.samples[i]
+		dt := cur.TimeSec - prev.TimeSec
+		if dt <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		dw := cur.Nodes[node].WriteLines - prev.Nodes[node].WriteLines
+		out = append(out, float64(dw*memdev.LineSize)/1e6/dt)
+	}
+	return out
+}

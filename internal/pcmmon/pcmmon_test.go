@@ -1,0 +1,91 @@
+package pcmmon
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+)
+
+func testMachine() *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.NodeBytes = 1 << 30
+	cfg.L1 = cache.Config{Name: "L1", Bytes: 1 << 10, Ways: 2}
+	cfg.L2 = cache.Config{Name: "L2", Bytes: 4 << 10, Ways: 4}
+	cfg.L3 = cache.Config{Name: "L3", Bytes: 16 << 10, Ways: 4}
+	return machine.New(cfg)
+}
+
+func TestSamplingAtPeriod(t *testing.T) {
+	m := testMachine()
+	mon := New(m, Config{PeriodSec: 0.010, SelfNoiseLines: 0})
+	mon.OnQuantum(0.005) // before the first boundary
+	if len(mon.Samples()) != 0 {
+		t.Fatalf("early sample taken: %d", len(mon.Samples()))
+	}
+	mon.OnQuantum(0.045) // crosses 10,20,30,40 ms
+	if got := len(mon.Samples()); got != 4 {
+		t.Errorf("samples = %d, want 4", got)
+	}
+}
+
+func TestReportDeltas(t *testing.T) {
+	m := testMachine()
+	mon := New(m, Config{PeriodSec: 0.010, SelfNoiseLines: 0})
+	// Warmup traffic, then measure only the second half.
+	m.Node(1).Write(0, 100)
+	mon.StartMeasurement(1.0)
+	m.Node(1).Write(0, 50)
+	m.Node(0).Write(0, 10)
+	mon.StopMeasurement(2.0)
+	rep := mon.Report()
+	if rep.WriteLines[1] != 50 || rep.WriteLines[0] != 10 {
+		t.Errorf("deltas = %v", rep.WriteLines)
+	}
+	if rep.Seconds != 1.0 {
+		t.Errorf("seconds = %v, want 1", rep.Seconds)
+	}
+	// 50 lines * 64B / 1e6 / 1s = 0.0032 MB/s
+	if got := rep.WriteRateMBs(1); got < 0.0031 || got > 0.0033 {
+		t.Errorf("rate = %v MB/s", got)
+	}
+}
+
+func TestMonitorSelfNoise(t *testing.T) {
+	m := testMachine()
+	mon := New(m, Config{PeriodSec: 0.010, SelfNoiseLines: 12, NoiseNode: 0})
+	mon.OnQuantum(0.1) // 10 samples
+	if got := m.Node(0).WriteLines(); got != 120 {
+		t.Errorf("monitor noise = %d lines, want 120", got)
+	}
+	if m.Node(1).WriteLines() != 0 {
+		t.Error("noise must stay on the monitor's socket")
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	m := testMachine()
+	mon := New(m, Config{PeriodSec: 0.010, SelfNoiseLines: 0})
+	mon.OnQuantum(0.010)
+	m.Node(1).Write(0, 1000)
+	mon.OnQuantum(0.020)
+	series := mon.RateSeries(1)
+	if len(series) != 1 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	want := 1000.0 * 64 / 1e6 / 0.010
+	if series[0] < want*0.99 || series[0] > want*1.01 {
+		t.Errorf("series rate = %v, want ~%v", series[0], want)
+	}
+}
+
+func TestReportWithoutExplicitStart(t *testing.T) {
+	m := testMachine()
+	mon := New(m, DefaultConfig())
+	m.Node(1).Write(0, 5)
+	mon.OnQuantum(0.5)
+	rep := mon.Report()
+	if rep.WriteLines[1] != 5 {
+		t.Errorf("implicit-start delta = %v", rep.WriteLines)
+	}
+}

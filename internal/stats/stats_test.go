@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); !almostEqual(got, 4) {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almostEqual(got, 4) {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{0, -2}); got != 0 {
+		t.Errorf("GeoMean of non-positive = %v, want 0", got)
+	}
+	// Non-positive entries are skipped, not zeroed.
+	if got := GeoMean([]float64{0, 4}); !almostEqual(got, 4) {
+		t.Errorf("GeoMean skipping zero = %v, want 4", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+	if got := Median(xs); !almostEqual(got, 4) {
+		t.Errorf("Median = %v, want 4", got)
+	}
+	if got := Median([]float64{5, 1, 9}); got != 5 {
+		t.Errorf("Median odd = %v, want 5", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-slice aggregates should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4}, 2)
+	if !almostEqual(got[0], 1) || !almostEqual(got[1], 2) {
+		t.Errorf("Normalize = %v", got)
+	}
+	got = Normalize([]float64{2, 4}, 0)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("Normalize by zero = %v, want zeros", got)
+	}
+}
+
+func TestPercentReduction(t *testing.T) {
+	if got := PercentReduction(100, 38); !almostEqual(got, 62) {
+		t.Errorf("PercentReduction = %v, want 62", got)
+	}
+	if got := PercentReduction(0, 5); got != 0 {
+		t.Errorf("PercentReduction base 0 = %v, want 0", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 3); !almostEqual(got, 2) {
+		t.Errorf("Ratio = %v, want 2", got)
+	}
+	if got := Ratio(6, 0); got != 0 {
+		t.Errorf("Ratio by zero = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return m >= Min(clean)-1e-6 && m <= Max(clean)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalizing by the max puts every element in [0,1] for
+// non-negative input.
+func TestNormalizeRangeProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		fs := make([]float64, len(xs))
+		for i, x := range xs {
+			fs[i] = float64(x)
+		}
+		mx := Max(fs)
+		if mx == 0 {
+			return true
+		}
+		for _, v := range Normalize(fs, mx) {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package all is the benchmark registry: the paper's 15 applications
+// (11 DaCapo, Pjbb, and 3 GraphChi) behind one lookup surface.
+// Factories return fresh instances because applications keep
+// long-lived state across iterations and multiprogrammed instances
+// must not share it.
+package all
+
+import (
+	"repro/internal/workloads"
+	"repro/internal/workloads/dacapo"
+	"repro/internal/workloads/graphchi"
+	"repro/internal/workloads/pjbb"
+)
+
+// Names lists all 15 benchmark names in the paper's order.
+func Names() []string {
+	names := dacapo.Names()
+	names = append(names, "pjbb", "PR", "CC", "ALS")
+	return names
+}
+
+// New returns a fresh instance of the named application, or nil when
+// the name is unknown.
+func New(name string) workloads.App {
+	switch name {
+	case "pjbb":
+		return pjbb.New()
+	case "PR":
+		return graphchi.New(graphchi.PR)
+	case "CC":
+		return graphchi.New(graphchi.CC)
+	case "ALS":
+		return graphchi.New(graphchi.ALS)
+	default:
+		return dacapo.New(name)
+	}
+}
+
+// Apps returns fresh instances of all 15 applications.
+func Apps() []workloads.App {
+	var out []workloads.App
+	for _, n := range Names() {
+		out = append(out, New(n))
+	}
+	return out
+}
+
+// BySuite returns fresh instances of one suite.
+func BySuite(s workloads.Suite) []workloads.App {
+	var out []workloads.App
+	for _, a := range Apps() {
+		if a.Suite() == s {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package all
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestFifteenApps(t *testing.T) {
+	names := Names()
+	if len(names) != 15 {
+		t.Fatalf("registry has %d apps, want the paper's 15", len(names))
+	}
+	apps := Apps()
+	if len(apps) != 15 {
+		t.Fatalf("Apps() = %d", len(apps))
+	}
+	for i, a := range apps {
+		if a == nil {
+			t.Fatalf("app %q is nil", names[i])
+		}
+		if a.Name() != names[i] {
+			t.Errorf("apps[%d] = %s, want %s", i, a.Name(), names[i])
+		}
+	}
+}
+
+func TestBySuite(t *testing.T) {
+	if got := len(BySuite(workloads.DaCapo)); got != 11 {
+		t.Errorf("DaCapo = %d, want 11", got)
+	}
+	if got := len(BySuite(workloads.Pjbb)); got != 1 {
+		t.Errorf("Pjbb = %d, want 1", got)
+	}
+	if got := len(BySuite(workloads.GraphChi)); got != 3 {
+		t.Errorf("GraphChi = %d, want 3", got)
+	}
+}
+
+func TestUnknown(t *testing.T) {
+	if New("nonsense") != nil {
+		t.Error("unknown app should be nil")
+	}
+}
+
+func TestSuiteNurseries(t *testing.T) {
+	// The paper: 4 MB nursery for DaCapo/Pjbb, 32 MB for GraphChi.
+	for _, a := range Apps() {
+		want := 4
+		if a.Suite() == workloads.GraphChi {
+			want = 32
+		}
+		if a.NurseryMB() != want {
+			t.Errorf("%s nursery = %d, want %d", a.Name(), a.NurseryMB(), want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package dacapo models the 11 DaCapo applications of the paper's
+// evaluation (including the lu.Fix variant of lusearch, which removes
+// useless allocation, and pmd.S, which removes a scalability
+// bottleneck caused by a large input file).
+//
+// Each application is an allocation/mutation profile calibrated to the
+// aggregate behaviours the paper's evaluation depends on: allocation
+// volume and object-size mix, nursery survival, long-lived footprint
+// (which sets LLC pressure and with it the nursery-writeback traffic
+// that KG-N can save), mature mutation, large-object traffic, and the
+// compute-to-write ratio that positions the application's PCM write
+// rate in Fig 6. The paper's defaults apply: 4 MB nursery, heap twice
+// the minimum, four application threads.
+package dacapo
+
+import "repro/internal/workloads"
+
+// profiles is the DaCapo suite. Values are calibrated so that the
+// suite reproduces the paper's aggregate shapes: most applications
+// below the 140 MB/s recommended write rate under PCM-Only, lusearch
+// and xalan far above it, KG-N saving little on average (large L3),
+// KG-W saving most, and only lusearch/xalan responding to KG-B's
+// bigger nursery.
+var profiles = []workloads.Profile{
+	{
+		AppName: "avrora", S: workloads.DaCapo,
+		// AVR simulator: tiny objects, compute-bound, small footprint.
+		AllocMB: 24, MeanObj: 48, SurviveKB: 96, LongLivedMB: 6,
+		MediumFrac: 0.04, MediumLiveKB: 768,
+		LargeFrac: 0.01, LargeObjKB: 16,
+		WritesPerKB: 5, MatureWriteFrac: 0.30, ReadsPerKB: 10, RefsPerObj: 2,
+		PointerChurn: 0.02, ComputePerKB: 95000,
+		NurseryMBv: 4, HeapMBv: 48,
+	},
+	{
+		AppName: "bloat", S: workloads.DaCapo,
+		// Bytecode optimizer: pointer-heavy IR with medium survival.
+		AllocMB: 56, MeanObj: 72, SurviveKB: 256, LongLivedMB: 10,
+		MediumFrac: 0.06, MediumLiveKB: 1024,
+		LargeFrac: 0.02, LargeObjKB: 24,
+		WritesPerKB: 6, MatureWriteFrac: 0.30, ReadsPerKB: 14, RefsPerObj: 3,
+		PointerChurn: 0.04, ComputePerKB: 52000,
+		NurseryMBv: 4, HeapMBv: 64,
+		LargeScale: 3, LargeLongLivedScale: 1.4, LargeComputeScale: 1.0,
+	},
+	{
+		AppName: "eclipse", S: workloads.DaCapo,
+		// IDE workload: biggest DaCapo heap, diverse objects.
+		AllocMB: 96, MeanObj: 96, SurviveKB: 384, LongLivedMB: 22,
+		MediumFrac: 0.07, MediumLiveKB: 1536,
+		LargeFrac: 0.03, LargeObjKB: 48,
+		WritesPerKB: 5, MatureWriteFrac: 0.35, ReadsPerKB: 12, RefsPerObj: 3,
+		PointerChurn: 0.04, ComputePerKB: 60000,
+		NurseryMBv: 4, HeapMBv: 96,
+		LargeScale: 2.5, LargeLongLivedScale: 1.5, LargeComputeScale: 1.3,
+	},
+	{
+		AppName: "fop", S: workloads.DaCapo,
+		// XSL-FO to PDF: one-shot formatting, moderate everything.
+		AllocMB: 28, MeanObj: 80, SurviveKB: 256, LongLivedMB: 9,
+		MediumFrac: 0.06, MediumLiveKB: 1024,
+		LargeFrac: 0.03, LargeObjKB: 32,
+		WritesPerKB: 5, MatureWriteFrac: 0.30, ReadsPerKB: 10, RefsPerObj: 3,
+		PointerChurn: 0.03, ComputePerKB: 55000,
+		NurseryMBv: 4, HeapMBv: 56,
+	},
+	{
+		AppName: "luindex", S: workloads.DaCapo,
+		// Lucene indexing: streaming writes into index buffers.
+		AllocMB: 24, MeanObj: 64, SurviveKB: 128, LongLivedMB: 8,
+		MediumFrac: 0.05, MediumLiveKB: 768,
+		LargeFrac: 0.04, LargeObjKB: 32,
+		WritesPerKB: 7, MatureWriteFrac: 0.35, ReadsPerKB: 8, RefsPerObj: 2,
+		PointerChurn: 0.02, ComputePerKB: 70000,
+		NurseryMBv: 4, HeapMBv: 44,
+	},
+	{
+		AppName: "lusearch", S: workloads.DaCapo,
+		// Lucene search: extreme allocation rate of short-lived
+		// buffers plus random reads over a large index -> constant
+		// LLC evictions of dirty nursery lines. The paper's
+		// high-write-rate outlier, and one of two benchmarks that
+		// respond to KG-B's bigger nursery.
+		AllocMB: 200, MeanObj: 224, SurviveKB: 96, LongLivedMB: 30,
+		MediumFrac: 0.03, MediumLiveKB: 512,
+		LargeFrac: 0.02, LargeObjKB: 16,
+		WritesPerKB: 6, MatureWriteFrac: 0.08, ReadsPerKB: 26, RefsPerObj: 1,
+		PointerChurn: 0.01, ComputePerKB: 1300,
+		NurseryMBv: 4, HeapMBv: 68,
+		LargeScale: 2.5, LargeLongLivedScale: 1.0, LargeComputeScale: 0.8,
+	},
+	{
+		AppName: "lu.Fix", S: workloads.DaCapo,
+		// lusearch with the useless allocation removed: roughly half
+		// the allocation volume at the same work.
+		AllocMB: 100, MeanObj: 224, SurviveKB: 96, LongLivedMB: 30,
+		MediumFrac: 0.03, MediumLiveKB: 512,
+		LargeFrac: 0.02, LargeObjKB: 16,
+		WritesPerKB: 6, MatureWriteFrac: 0.08, ReadsPerKB: 26, RefsPerObj: 1,
+		PointerChurn: 0.01, ComputePerKB: 2600,
+		NurseryMBv: 4, HeapMBv: 68,
+		LargeScale: 2.5, LargeLongLivedScale: 1.0, LargeComputeScale: 0.8,
+	},
+	{
+		AppName: "pmd", S: workloads.DaCapo,
+		// Source analyzer with a large input file: big survivor
+		// window and mature mutation.
+		AllocMB: 64, MeanObj: 88, SurviveKB: 512, LongLivedMB: 18,
+		MediumFrac: 0.08, MediumLiveKB: 1536,
+		LargeFrac: 0.04, LargeObjKB: 64,
+		WritesPerKB: 6, MatureWriteFrac: 0.40, ReadsPerKB: 12, RefsPerObj: 4,
+		PointerChurn: 0.05, ComputePerKB: 48000,
+		NurseryMBv: 4, HeapMBv: 80,
+		LargeScale: 3, LargeLongLivedScale: 1.6, LargeComputeScale: 0.66,
+	},
+	{
+		AppName: "pmd.S", S: workloads.DaCapo,
+		// pmd with the scalability bottleneck (one huge input file)
+		// removed: smaller survivors, less mature churn.
+		AllocMB: 56, MeanObj: 88, SurviveKB: 320, LongLivedMB: 13,
+		MediumFrac: 0.06, MediumLiveKB: 1024,
+		LargeFrac: 0.03, LargeObjKB: 48,
+		WritesPerKB: 6, MatureWriteFrac: 0.33, ReadsPerKB: 12, RefsPerObj: 4,
+		PointerChurn: 0.04, ComputePerKB: 50000,
+		NurseryMBv: 4, HeapMBv: 72,
+		LargeScale: 3, LargeLongLivedScale: 1.4, LargeComputeScale: 0.8,
+	},
+	{
+		AppName: "sunflow", S: workloads.DaCapo,
+		// Raytracer: very high allocation of tiny vectors that die
+		// immediately; scene data is read-mostly.
+		AllocMB: 88, MeanObj: 48, SurviveKB: 96, LongLivedMB: 12,
+		MediumFrac: 0.03, MediumLiveKB: 512,
+		LargeFrac: 0.01, LargeObjKB: 16,
+		WritesPerKB: 4, MatureWriteFrac: 0.10, ReadsPerKB: 16, RefsPerObj: 1,
+		PointerChurn: 0.01, ComputePerKB: 42000,
+		NurseryMBv: 4, HeapMBv: 56,
+		LargeScale: 4, LargeLongLivedScale: 1.1, LargeComputeScale: 1.5,
+	},
+	{
+		AppName: "xalan", S: workloads.DaCapo,
+		// XSLT processor: write-heavy transformation over a large
+		// document footprint; the other high-rate DaCapo benchmark
+		// and the second KG-B responder.
+		AllocMB: 168, MeanObj: 192, SurviveKB: 128, LongLivedMB: 26,
+		MediumFrac: 0.04, MediumLiveKB: 768,
+		LargeFrac: 0.03, LargeObjKB: 32,
+		WritesPerKB: 9, MatureWriteFrac: 0.15, ReadsPerKB: 20, RefsPerObj: 2,
+		PointerChurn: 0.02, ComputePerKB: 5400,
+		NurseryMBv: 4, HeapMBv: 72,
+		LargeScale: 2.5, LargeLongLivedScale: 1.3, LargeComputeScale: 1.2,
+	},
+}
+
+// Names lists the suite's application names in evaluation order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.AppName
+	}
+	return out
+}
+
+// New returns a fresh instance of the named application, or nil if
+// the name is unknown. Instances must not be shared between program
+// instances (they keep long-lived state across iterations).
+func New(name string) workloads.App {
+	for _, p := range profiles {
+		if p.AppName == name {
+			return workloads.NewProfileApp(p)
+		}
+	}
+	return nil
+}
+
+// All returns fresh instances of the full suite.
+func All() []workloads.App {
+	out := make([]workloads.App, len(profiles))
+	for i, p := range profiles {
+		out[i] = workloads.NewProfileApp(p)
+	}
+	return out
+}
+
+// TableIISubset returns fresh instances of the 7 benchmarks the
+// paper's simulator could run for the Table II validation: lusearch,
+// lu.Fix, avrora, xalan, pmd, pmd.S, bloat.
+func TableIISubset() []workloads.App {
+	names := []string{"lusearch", "lu.Fix", "avrora", "xalan", "pmd", "pmd.S", "bloat"}
+	out := make([]workloads.App, len(names))
+	for i, n := range names {
+		out[i] = New(n)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package dacapo
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	names := Names()
+	if len(names) != 11 {
+		t.Fatalf("DaCapo suite has %d apps, want the paper's 11", len(names))
+	}
+	want := map[string]bool{
+		"avrora": true, "bloat": true, "eclipse": true, "fop": true,
+		"luindex": true, "lusearch": true, "lu.Fix": true, "pmd": true,
+		"pmd.S": true, "sunflow": true, "xalan": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected app %q", n)
+		}
+	}
+}
+
+func TestNewAndAll(t *testing.T) {
+	if New("lusearch") == nil {
+		t.Error("New(lusearch) = nil")
+	}
+	if New("nope") != nil {
+		t.Error("unknown app should be nil")
+	}
+	apps := All()
+	if len(apps) != 11 {
+		t.Fatalf("All() = %d", len(apps))
+	}
+	for _, a := range apps {
+		if a.Suite() != workloads.DaCapo {
+			t.Errorf("%s suite = %v", a.Name(), a.Suite())
+		}
+		if a.NurseryMB() != 4 {
+			t.Errorf("%s nursery = %d, want the paper's 4 MB", a.Name(), a.NurseryMB())
+		}
+		if a.HeapMB() <= 0 {
+			t.Errorf("%s has no heap budget", a.Name())
+		}
+	}
+}
+
+func TestTableIISubset(t *testing.T) {
+	apps := TableIISubset()
+	if len(apps) != 7 {
+		t.Fatalf("Table II subset = %d apps, want 7", len(apps))
+	}
+	want := []string{"lusearch", "lu.Fix", "avrora", "xalan", "pmd", "pmd.S", "bloat"}
+	for i, a := range apps {
+		if a == nil || a.Name() != want[i] {
+			t.Errorf("subset[%d] = %v, want %s", i, a, want[i])
+		}
+	}
+}
+
+func TestLuFixAllocatesLessThanLusearch(t *testing.T) {
+	lu := New("lusearch").(*workloads.ProfileApp)
+	fix := New("lu.Fix").(*workloads.ProfileApp)
+	if fix.P.AllocMB >= lu.P.AllocMB {
+		t.Error("lu.Fix must remove allocation relative to lusearch")
+	}
+}
+
+func TestFreshInstances(t *testing.T) {
+	a, b := New("pmd"), New("pmd")
+	if a == b {
+		t.Error("New must return fresh instances")
+	}
+}
+
+func TestLargeDatasetSubset(t *testing.T) {
+	n := 0
+	for _, a := range All() {
+		if a.HasLargeDataset() {
+			n++
+		}
+	}
+	if n < 5 {
+		t.Errorf("only %d DaCapo apps carry large datasets", n)
+	}
+}

@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"repro/internal/jvm"
+	"repro/internal/native"
+	"repro/internal/objmodel"
+)
+
+// ManagedEnv adapts the JVM runtime to the Env interface.
+type ManagedEnv struct {
+	R *jvm.Runtime
+}
+
+var _ Env = (*ManagedEnv)(nil)
+
+// Managed reports true.
+func (e *ManagedEnv) Managed() bool { return true }
+
+// Alloc allocates a managed, zero-initialized object.
+func (e *ManagedEnv) Alloc(size, nrefs int) Ref {
+	return Ref(e.R.Alloc(size, nrefs))
+}
+
+// Free is a no-op: reclamation is the collector's job.
+func (e *ManagedEnv) Free(Ref) {}
+
+// Write stores through the runtime (with KG-W write monitoring).
+func (e *ManagedEnv) Write(ref Ref, off, size int) {
+	e.R.Write(objmodel.ObjID(ref), off, size)
+}
+
+// Read loads through the runtime.
+func (e *ManagedEnv) Read(ref Ref, off, size int) {
+	e.R.Read(objmodel.ObjID(ref), off, size)
+}
+
+// WriteRef runs the generational write barrier.
+func (e *ManagedEnv) WriteRef(src Ref, slot int, dst Ref) {
+	e.R.WriteRef(objmodel.ObjID(src), slot, objmodel.ObjID(dst))
+}
+
+// ReadRef loads a reference slot.
+func (e *ManagedEnv) ReadRef(src Ref, slot int) Ref {
+	return Ref(e.R.ReadRef(objmodel.ObjID(src), slot))
+}
+
+// AddRoot pins an object.
+func (e *ManagedEnv) AddRoot(ref Ref) int { return e.R.AddRoot(objmodel.ObjID(ref)) }
+
+// SetRoot repoints a root slot.
+func (e *ManagedEnv) SetRoot(slot int, ref Ref) { e.R.SetRoot(slot, objmodel.ObjID(ref)) }
+
+// DropRoot releases a root slot.
+func (e *ManagedEnv) DropRoot(slot int) { e.R.DropRoot(slot) }
+
+// Compute burns compute units.
+func (e *ManagedEnv) Compute(n int) { e.R.Proc.Compute(n) }
+
+// NativeEnv adapts the malloc runtime to the Env interface: C++-style
+// manual memory management where references are plain pointer fields.
+type NativeEnv struct {
+	R *native.Runtime
+}
+
+var _ Env = (*NativeEnv)(nil)
+
+// Managed reports false.
+func (e *NativeEnv) Managed() bool { return false }
+
+// Alloc mallocs without zero-initialization.
+func (e *NativeEnv) Alloc(size, nrefs int) Ref {
+	return Ref(e.R.Malloc(size))
+}
+
+// Free releases the block.
+func (e *NativeEnv) Free(ref Ref) { e.R.Free(uint64(ref)) }
+
+// Write stores directly.
+func (e *NativeEnv) Write(ref Ref, off, size int) {
+	e.R.Write(uint64(ref), off, size)
+}
+
+// Read loads directly.
+func (e *NativeEnv) Read(ref Ref, off, size int) {
+	e.R.Read(uint64(ref), off, size)
+}
+
+// WriteRef is a plain pointer store (no barrier, no tracking).
+func (e *NativeEnv) WriteRef(src Ref, slot int, dst Ref) {
+	e.R.Write(uint64(src), 8+slot*8, 8)
+}
+
+// ReadRef reads the pointer field; the native heap does not track the
+// object graph, so the handle itself is not recoverable.
+func (e *NativeEnv) ReadRef(src Ref, slot int) Ref {
+	e.R.Read(uint64(src), 8+slot*8, 8)
+	return NilRef
+}
+
+// AddRoot is a no-op (stack pointers need no registration).
+func (e *NativeEnv) AddRoot(Ref) int { return -1 }
+
+// SetRoot is a no-op.
+func (e *NativeEnv) SetRoot(int, Ref) {}
+
+// DropRoot is a no-op.
+func (e *NativeEnv) DropRoot(int) {}
+
+// Compute burns compute units.
+func (e *NativeEnv) Compute(n int) { e.R.Proc.Compute(n) }

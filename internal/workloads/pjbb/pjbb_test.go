@@ -1,0 +1,41 @@
+package pjbb
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestMetadata(t *testing.T) {
+	a := New()
+	if a.Name() != "pjbb" {
+		t.Errorf("name = %q", a.Name())
+	}
+	if a.Suite() != workloads.Pjbb {
+		t.Errorf("suite = %v", a.Suite())
+	}
+	if a.NurseryMB() != 4 {
+		t.Errorf("nursery = %d, want 4", a.NurseryMB())
+	}
+	if !a.HasLargeDataset() {
+		t.Error("pjbb carries a large dataset in the evaluation")
+	}
+	// The paper: Pjbb's heap (400 MB) is far larger than the DaCapo
+	// average (100 MB); the model keeps that ordering.
+	if a.HeapMB() < 150 {
+		t.Errorf("heap = %d MB, want the biggest non-graph heap", a.HeapMB())
+	}
+}
+
+func TestFreshInstances(t *testing.T) {
+	if New() == New() {
+		t.Error("New must return fresh instances")
+	}
+}
+
+func TestMatureMutationHeavy(t *testing.T) {
+	a := New().(*workloads.ProfileApp)
+	if a.P.MatureWriteFrac < 0.3 {
+		t.Error("pjbb is warehouse-mutation-heavy; MatureWriteFrac too low")
+	}
+}

@@ -1,0 +1,272 @@
+package workloads
+
+// Profile parameterizes a synthetic allocation/mutation workload. The
+// DaCapo applications and Pjbb are modelled as profiles calibrated to
+// the aggregate behaviours the paper reports (allocation volume,
+// nursery survival, mature mutation, large-object traffic, and the
+// compute-to-write ratio that sets PCM write rates in MB/s).
+type Profile struct {
+	AppName string
+	S       Suite
+
+	// AllocMB is the allocation volume of one iteration.
+	AllocMB int
+	// MeanObj is the mean small-object size in bytes.
+	MeanObj int
+	// SurviveKB sizes the live window of recently allocated objects;
+	// objects die when they rotate out, so the window (relative to
+	// the nursery) controls the nursery-size-sensitive part of
+	// survival.
+	SurviveKB int
+	// MediumFrac is the probability that an allocation is
+	// medium-lived: rooted in a second ring whose lifetime
+	// (MediumLiveKB/MediumFrac bytes of allocation) far exceeds any
+	// nursery, so these objects are copied to the mature space
+	// regardless of nursery size — the survivor population that makes
+	// KG-B's bigger nursery save little (the paper: 11% vs KG-N's
+	// 4-8%). Medium objects are read-mostly after creation, so KG-W's
+	// observer dispatches them to PCM.
+	MediumFrac float64
+	// MediumLiveKB is the live size of the medium ring.
+	MediumLiveKB int
+	// LongLivedMB is the permanently live structure (built on first
+	// iteration, kept across iterations).
+	LongLivedMB int
+	// LargeFrac is the fraction of allocated bytes in large objects.
+	LargeFrac float64
+	// LargeObjKB is the typical large-object size.
+	LargeObjKB int
+	// WritesPerKB is the number of 8..64-byte mutator stores per KB
+	// allocated.
+	WritesPerKB float64
+	// MatureWriteFrac is the fraction of stores hitting the
+	// long-lived structure (the rest hit recently allocated data).
+	MatureWriteFrac float64
+	// ReadsPerKB is the matching load traffic.
+	ReadsPerKB float64
+	// RefsPerObj is the reference slots per small object.
+	RefsPerObj int
+	// PointerChurn is the probability per allocation of installing a
+	// mature-to-young reference (write-barrier traffic).
+	PointerChurn float64
+	// ComputePerKB is compute units per KB allocated: the knob that
+	// sets the workload's write rate.
+	ComputePerKB int
+
+	// Nursery and heap sizing (the paper: 4 MB nursery for DaCapo and
+	// Pjbb, heap twice the minimum).
+	NurseryMBv int
+	HeapMBv    int
+
+	// Large-dataset behaviour (Fig 8). LargeScale multiplies the
+	// allocation volume (0 = no large dataset); LargeLongLivedScale
+	// multiplies the live structure; LargeComputeScale multiplies
+	// compute per KB, shifting the compute-to-write balance and with
+	// it the write rate.
+	LargeScale           float64
+	LargeLongLivedScale  float64
+	LargeComputeScale    float64
+	LargeWritesPerKBMult float64
+}
+
+// ProfileApp runs a Profile as an App.
+type ProfileApp struct {
+	P Profile
+
+	built       bool
+	matureRefs  []Ref
+	matureSizes []int
+	matureSlots []int
+}
+
+var _ App = (*ProfileApp)(nil)
+
+// NewProfileApp wraps a profile.
+func NewProfileApp(p Profile) *ProfileApp { return &ProfileApp{P: p} }
+
+// Name returns the benchmark name.
+func (a *ProfileApp) Name() string { return a.P.AppName }
+
+// Suite returns the benchmark family.
+func (a *ProfileApp) Suite() Suite { return a.P.S }
+
+// NurseryMB returns the suite nursery size.
+func (a *ProfileApp) NurseryMB() int { return a.P.NurseryMBv }
+
+// HeapMB returns the heap budget.
+func (a *ProfileApp) HeapMB() int { return a.P.HeapMBv }
+
+// HasLargeDataset reports whether Fig 8 covers this app.
+func (a *ProfileApp) HasLargeDataset() bool { return a.P.LargeScale > 0 }
+
+// Run executes one iteration of the profile.
+func (a *ProfileApp) Run(env Env, ds Dataset, seed uint64) {
+	p := a.P
+	rng := NewRNG(seed*1099511628211 + uint64(len(p.AppName)))
+
+	allocBudget := uint64(p.AllocMB) << 20
+	longLived := uint64(p.LongLivedMB) << 20
+	computePerKB := float64(p.ComputePerKB)
+	writesPerKB := p.WritesPerKB
+	if ds == Large && p.LargeScale > 0 {
+		allocBudget = uint64(float64(allocBudget) * p.LargeScale)
+		if p.LargeLongLivedScale > 0 {
+			longLived = uint64(float64(longLived) * p.LargeLongLivedScale)
+		}
+		if p.LargeComputeScale > 0 {
+			computePerKB *= p.LargeComputeScale
+		}
+		if p.LargeWritesPerKBMult > 0 {
+			writesPerKB *= p.LargeWritesPerKBMult
+		}
+	}
+
+	// Build the long-lived structure once; it persists across the
+	// warmup and measured iterations like real application caches.
+	if !a.built {
+		a.built = true
+		var b uint64
+		for b < longLived {
+			size := 512 + rng.Intn(3584)
+			if rng.Float() < 0.08 {
+				size = (32 + rng.Intn(96)) << 10 // long-lived large arrays
+			}
+			ref := env.Alloc(size, 2)
+			a.matureSlots = append(a.matureSlots, env.AddRoot(ref))
+			a.matureRefs = append(a.matureRefs, ref)
+			a.matureSizes = append(a.matureSizes, size)
+			b += uint64(size)
+		}
+	}
+
+	// Rotating window of recently allocated objects.
+	window := p.SurviveKB * 1024 / p.MeanObj
+	if window < 4 {
+		window = 4
+	}
+	ringRefs := make([]Ref, window)
+	ringSlots := make([]int, window)
+	for i := range ringSlots {
+		ringSlots[i] = env.AddRoot(NilRef)
+	}
+	// Medium-lived ring: survives any nursery, dies in the mature
+	// space.
+	medWindow := 0
+	var medRefs []Ref
+	var medSlots []int
+	if p.MediumFrac > 0 {
+		medWindow = p.MediumLiveKB * 1024 / p.MeanObj
+		if medWindow < 4 {
+			medWindow = 4
+		}
+		medRefs = make([]Ref, medWindow)
+		medSlots = make([]int, medWindow)
+		for i := range medSlots {
+			medSlots[i] = env.AddRoot(NilRef)
+		}
+	}
+
+	var allocated uint64
+	var writeDebt, readDebt, computeDebt float64
+	idx, medIdx := 0, 0
+	for allocated < allocBudget {
+		var ref Ref
+		var size int
+		if p.LargeFrac > 0 && rng.Float() < p.LargeFrac*float64(p.MeanObj)/float64(p.LargeObjKB<<10) {
+			size = (p.LargeObjKB/2 + rng.Intn(p.LargeObjKB)) << 10
+			ref = env.Alloc(size, 0)
+		} else {
+			size = rng.SizeAround(p.MeanObj, 7<<10)
+			ref = env.Alloc(size, p.RefsPerObj)
+		}
+		allocated += uint64(size)
+
+		if medWindow > 0 && rng.Float() < p.MediumFrac {
+			// Medium-lived: rooted until the ring rotates back.
+			slot := medIdx % medWindow
+			old := medRefs[slot]
+			medRefs[slot] = ref
+			env.SetRoot(medSlots[slot], ref)
+			if old != NilRef && !env.Managed() {
+				env.Free(old)
+			}
+			medIdx++
+		} else {
+			// Rotate the survivor window: the replaced object loses
+			// its root and becomes garbage.
+			slot := idx % window
+			old := ringRefs[slot]
+			ringRefs[slot] = ref
+			env.SetRoot(ringSlots[slot], ref)
+			if old != NilRef && !env.Managed() {
+				env.Free(old)
+			}
+			idx++
+		}
+
+		kb := float64(size) / 1024
+		// Writes and reads touch random offsets across the whole
+		// target object, so the long-lived structure's full footprint
+		// flows through the cache hierarchy (this LLC pressure is what
+		// evicts dirty nursery lines and creates the nursery-writeback
+		// traffic the Kingsguard collectors ration).
+		writeDebt += kb * writesPerKB
+		for writeDebt >= 1 {
+			writeDebt--
+			if rng.Float() < p.MatureWriteFrac && len(a.matureRefs) > 0 {
+				i := rng.Intn(len(a.matureRefs))
+				off := 8 + rng.Intn(a.matureSizes[i]-16)
+				env.Write(a.matureRefs[i], off, 8)
+			} else {
+				y := ringRefs[rng.Intn(window)]
+				if y != NilRef {
+					env.Write(y, 8, 8)
+				}
+			}
+		}
+		readDebt += kb * p.ReadsPerKB
+		for readDebt >= 1 {
+			readDebt--
+			r := rng.Float()
+			switch {
+			case r < 0.45 && len(a.matureRefs) > 0:
+				i := rng.Intn(len(a.matureRefs))
+				off := 8 + rng.Intn(a.matureSizes[i]-16)
+				env.Read(a.matureRefs[i], off, 8)
+			case r < 0.65 && medWindow > 0:
+				if mr := medRefs[rng.Intn(medWindow)]; mr != NilRef {
+					env.Read(mr, 8, 8)
+				}
+			default:
+				if y := ringRefs[rng.Intn(window)]; y != NilRef {
+					env.Read(y, 16, 8)
+				}
+			}
+		}
+		if p.PointerChurn > 0 && len(a.matureRefs) > 0 && rng.Float() < p.PointerChurn {
+			m := a.matureRefs[rng.Intn(len(a.matureRefs))]
+			env.WriteRef(m, rng.Intn(2), ref)
+		}
+		computeDebt += kb * computePerKB
+		if computeDebt >= 2048 {
+			env.Compute(int(computeDebt))
+			computeDebt = 0
+		}
+	}
+
+	// Iteration end: the transient windows die.
+	for i := range ringSlots {
+		env.SetRoot(ringSlots[i], NilRef)
+		env.DropRoot(ringSlots[i])
+		if ringRefs[i] != NilRef && !env.Managed() {
+			env.Free(ringRefs[i])
+		}
+	}
+	for i := range medSlots {
+		env.SetRoot(medSlots[i], NilRef)
+		env.DropRoot(medSlots[i])
+		if medRefs[i] != NilRef && !env.Managed() {
+			env.Free(medRefs[i])
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package workloads defines the benchmark framework of the evaluation:
+// the Env interface applications program against (implemented by both
+// the managed JVM runtime and the native malloc runtime), the App
+// interface, and the deterministic random streams the synthetic
+// workloads draw from.
+//
+// The paper's benchmarks are real Java programs; this reproduction
+// models the DaCapo and Pjbb applications as calibrated
+// allocation/mutation profiles (their memory behaviour is what the
+// evaluation depends on), while the GraphChi applications are real
+// algorithm implementations (PageRank, Connected Components, ALS)
+// running over synthetic graphs, so their access patterns are emergent.
+package workloads
+
+import "fmt"
+
+// Suite identifies a benchmark family.
+type Suite int
+
+const (
+	// DaCapo is the 11-application DaCapo subset used by the paper
+	// (including the lu.Fix and pmd.S variants).
+	DaCapo Suite = iota
+	// Pjbb is pseudojbb2005.
+	Pjbb
+	// GraphChi is the graph-processing suite (PR, CC, ALS).
+	GraphChi
+)
+
+// String names the suite as the paper does.
+func (s Suite) String() string {
+	switch s {
+	case DaCapo:
+		return "DaCapo"
+	case Pjbb:
+		return "Pjbb"
+	case GraphChi:
+		return "GraphChi"
+	default:
+		return fmt.Sprintf("Suite(%d)", int(s))
+	}
+}
+
+// Dataset selects the input size.
+type Dataset int
+
+const (
+	// Default is the paper's default dataset (e.g. 1 M edges).
+	Default Dataset = iota
+	// Large is the large dataset (e.g. 10 M edges).
+	Large
+)
+
+// String names the dataset.
+func (d Dataset) String() string {
+	if d == Large {
+		return "large"
+	}
+	return "default"
+}
+
+// Ref is an opaque object handle: a managed object ID or a native
+// payload address, depending on the Env.
+type Ref uint64
+
+// NilRef is the null handle.
+const NilRef Ref = 0
+
+// Env is the memory system an application runs against. The managed
+// implementation maintains a real object graph with GC liveness; the
+// native implementation is a malloc heap where roots and reference
+// writes degrade to plain pointer stores.
+type Env interface {
+	// Managed reports whether this is the garbage-collected runtime.
+	Managed() bool
+	// Alloc allocates an object with nrefs reference slots. The
+	// managed runtime zero-initializes; the native one does not.
+	Alloc(size, nrefs int) Ref
+	// Free releases a native allocation; it is a no-op when managed.
+	Free(ref Ref)
+	// Write stores size bytes at offset off of ref.
+	Write(ref Ref, off, size int)
+	// Read loads size bytes at offset off of ref.
+	Read(ref Ref, off, size int)
+	// WriteRef stores a reference (with write barrier when managed).
+	WriteRef(src Ref, slot int, dst Ref)
+	// ReadRef loads a reference slot (managed graphs only; native
+	// returns NilRef).
+	ReadRef(src Ref, slot int) Ref
+	// AddRoot pins ref as a GC root and returns a slot handle.
+	AddRoot(ref Ref) int
+	// SetRoot repoints a root slot.
+	SetRoot(slot int, ref Ref)
+	// DropRoot releases a root slot.
+	DropRoot(slot int)
+	// Compute burns n compute units (the non-memory instruction mix).
+	Compute(n int)
+}
+
+// App is one benchmark application. Run executes a single iteration
+// of the workload (the replay harness calls it twice: warmup, then the
+// measured iteration). Implementations may keep state across
+// iterations (long-lived structures survive, as in the real apps), so
+// an App instance must not be shared between program instances.
+type App interface {
+	Name() string
+	Suite() Suite
+	// NurseryMB is the paper's per-suite nursery: 4 MB for DaCapo and
+	// Pjbb, 32 MB for GraphChi.
+	NurseryMB() int
+	// HeapMB is the mature-heap budget (twice the minimum heap).
+	HeapMB() int
+	// HasLargeDataset reports whether a large input exists (Fig 8).
+	HasLargeDataset() bool
+	Run(env Env, ds Dataset, seed uint64)
+}
+
+// RNG is a deterministic splitmix64 stream. Workloads never touch
+// global randomness, so every run is reproducible.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a stream.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed ^ 0x9E3779B97F4A7C15} }
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float returns a value in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// SizeAround draws an approximately exponential size with the given
+// mean, clamped to [16, cap].
+func (r *RNG) SizeAround(mean, cap int) int {
+	// Sum of two uniforms approximates the mid-weighted spread real
+	// object-size histograms show.
+	v := (r.Intn(mean) + r.Intn(mean+mean/2)) * 4 / 5
+	if v < 16 {
+		v = 16
+	}
+	if v > cap {
+		v = cap
+	}
+	return v
+}

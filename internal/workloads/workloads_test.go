@@ -1,0 +1,195 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/jvm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/native"
+)
+
+func TestSuiteAndDatasetStrings(t *testing.T) {
+	if DaCapo.String() != "DaCapo" || Pjbb.String() != "Pjbb" || GraphChi.String() != "GraphChi" {
+		t.Error("suite names wrong")
+	}
+	if Default.String() != "default" || Large.String() != "large" {
+		t.Error("dataset names wrong")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed streams diverge")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(7).Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produce identical streams")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	rng := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := rng.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := rng.Float(); f < 0 || f >= 1 {
+			t.Fatalf("Float out of range: %v", f)
+		}
+		if s := rng.SizeAround(64, 256); s < 16 || s > 256 {
+			t.Fatalf("SizeAround out of range: %d", s)
+		}
+	}
+	if rng.Intn(0) != 0 {
+		t.Error("Intn(0) should be 0")
+	}
+}
+
+func newTestMachine() *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.NodeBytes = 2 << 30
+	return machine.New(cfg)
+}
+
+func TestProfileAppOnManagedEnv(t *testing.T) {
+	p := Profile{
+		AppName: "toy", S: DaCapo,
+		AllocMB: 2, MeanObj: 64, SurviveKB: 32, LongLivedMB: 1,
+		LargeFrac: 0.02, LargeObjKB: 16,
+		WritesPerKB: 4, MatureWriteFrac: 0.3, ReadsPerKB: 4, RefsPerObj: 2,
+		PointerChurn: 0.02, ComputePerKB: 500,
+		NurseryMBv: 4, HeapMBv: 16,
+		LargeScale: 2,
+	}
+	app := NewProfileApp(p)
+	if app.Name() != "toy" || app.Suite() != DaCapo || !app.HasLargeDataset() {
+		t.Error("profile app metadata wrong")
+	}
+
+	m := newTestMachine()
+	k := kernel.New(m, kernel.Config{EmulateOS: false})
+	var stats jvm.Stats
+	proc := k.NewProcess("app", 0, func(pr *kernel.Process) {
+		plan := jvm.NewPlan(jvm.KGN, jvm.PlanConfig{
+			BaseNurseryBytes: 256 << 10,
+			HeapBytes:        16 << 20,
+			BootBytes:        1 << 20,
+			ThreadSocket:     -1,
+		})
+		rt, err := jvm.NewRuntime(pr, plan)
+		if err != nil {
+			panic(err)
+		}
+		env := &ManagedEnv{R: rt}
+		app.Run(env, Default, 1)
+		stats = rt.Stats
+	})
+	if err := k.RunSolo(proc, kernel.RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.AllocBytes < 2<<20 {
+		t.Errorf("managed run allocated %d bytes, want >= 2 MB", stats.AllocBytes)
+	}
+	if stats.MinorGCs == 0 {
+		t.Error("a 2 MB run over a 256 KB nursery must trigger minor GCs")
+	}
+	if stats.MutatorWrites == 0 || stats.MutatorReads == 0 {
+		t.Error("profile generated no mutator traffic")
+	}
+}
+
+func TestProfileAppOnNativeEnv(t *testing.T) {
+	p := Profile{
+		AppName: "toy-cpp", S: DaCapo,
+		AllocMB: 2, MeanObj: 64, SurviveKB: 32, LongLivedMB: 1,
+		WritesPerKB: 4, MatureWriteFrac: 0.3, ReadsPerKB: 4, RefsPerObj: 2,
+		ComputePerKB: 500, NurseryMBv: 4, HeapMBv: 16,
+	}
+	app := NewProfileApp(p)
+	m := newTestMachine()
+	k := kernel.New(m, kernel.Config{EmulateOS: false})
+	var nstats native.Stats
+	var leaks int
+	proc := k.NewProcess("cpp", 1, func(pr *kernel.Process) {
+		rt, err := native.NewRuntime(pr, 512<<20, 1)
+		if err != nil {
+			panic(err)
+		}
+		env := &NativeEnv{R: rt}
+		app.Run(env, Default, 1)
+		nstats = rt.Stats
+		leaks = rt.LiveBlocks()
+	})
+	if err := k.RunSolo(proc, kernel.RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if nstats.AllocBytes < 2<<20 {
+		t.Errorf("native run allocated %d bytes", nstats.AllocBytes)
+	}
+	// The transient window is freed at iteration end; only the
+	// long-lived structure may remain live.
+	if leaks > int(nstats.Mallocs) {
+		t.Errorf("leak accounting broken: %d live of %d mallocs", leaks, nstats.Mallocs)
+	}
+	if nstats.Frees == 0 {
+		t.Error("native profile must free its transient window")
+	}
+}
+
+func TestManagedAllocatesMoreThanNative(t *testing.T) {
+	// The managed runtime zero-initializes and copies; with identical
+	// workloads the managed machine must write more memory than the
+	// native one — the Fig 3 premise.
+	run := func(managed bool) uint64 {
+		p := Profile{
+			AppName: "cmp", S: DaCapo,
+			AllocMB: 4, MeanObj: 96, SurviveKB: 64, LongLivedMB: 1,
+			WritesPerKB: 2, MatureWriteFrac: 0.2, ReadsPerKB: 2,
+			RefsPerObj: 1, ComputePerKB: 100, NurseryMBv: 4, HeapMBv: 16,
+		}
+		app := NewProfileApp(p)
+		m := newTestMachine()
+		k := kernel.New(m, kernel.Config{EmulateOS: false})
+		proc := k.NewProcess("x", 1, func(pr *kernel.Process) {
+			if managed {
+				plan := jvm.NewPlan(jvm.PCMOnly, jvm.PlanConfig{
+					BaseNurseryBytes: 256 << 10,
+					HeapBytes:        16 << 20,
+					BootBytes:        1 << 20,
+					ThreadSocket:     -1,
+				})
+				rt, err := jvm.NewRuntime(pr, plan)
+				if err != nil {
+					panic(err)
+				}
+				app.Run(&ManagedEnv{R: rt}, Default, 1)
+			} else {
+				rt, err := native.NewRuntime(pr, 512<<20, 1)
+				if err != nil {
+					panic(err)
+				}
+				app.Run(&NativeEnv{R: rt}, Default, 1)
+			}
+		})
+		if err := k.RunSolo(proc, kernel.RunConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		m.DrainCaches()
+		return m.Node(1).WriteLines()
+	}
+	java := run(true)
+	cpp := run(false)
+	if java <= cpp {
+		t.Errorf("managed writes (%d) should exceed native writes (%d)", java, cpp)
+	}
+}
