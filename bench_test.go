@@ -1,4 +1,4 @@
-package hybridmem
+package hybridmem_test
 
 // The benchmark harness regenerates every table and figure of the
 // paper's evaluation (see DESIGN.md §3 for the experiment index) plus
@@ -7,15 +7,56 @@ package hybridmem
 // headline quantities so `go test -bench` output doubles as a compact
 // reproduction report. cmd/paperfigs renders the same experiments at
 // Std/Full scale.
+//
+// BenchmarkSweepSerial vs BenchmarkSweepRunBatch demonstrates the
+// Platform's worker pool: the same 3-app x 8-collector grid executed
+// one-at-a-time and across all host cores.
 
 import (
+	"context"
 	"testing"
 
+	hybridmem "repro"
 	"repro/internal/experiments"
 )
 
+// ctx is the default context for driver calls in benchmarks.
+var ctx = context.Background()
+
 func quickRunner() *experiments.Runner {
 	return experiments.NewRunner(experiments.Config{Scale: experiments.Quick, Seed: 1})
+}
+
+// sweepGrid is the 3-app x 8-collector acceptance sweep.
+func sweepGrid() []hybridmem.RunSpec {
+	return hybridmem.NewSweep("lusearch", "xalan", "pmd").
+		Collectors(hybridmem.Collectors()...).Specs()
+}
+
+// BenchmarkSweepSerial runs the grid one experiment at a time on a
+// fresh platform (no cache reuse between iterations).
+func BenchmarkSweepSerial(b *testing.B) {
+	specs := sweepGrid()
+	for i := 0; i < b.N; i++ {
+		p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick), hybridmem.WithParallelism(1))
+		if _, err := p.RunBatch(context.Background(), specs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "experiments/op")
+}
+
+// BenchmarkSweepRunBatch runs the same grid through the worker pool,
+// one worker per available core.
+func BenchmarkSweepRunBatch(b *testing.B) {
+	specs := sweepGrid()
+	for i := 0; i < b.N; i++ {
+		p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick))
+		if _, err := p.RunBatch(context.Background(), specs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "experiments/op")
 }
 
 // BenchmarkTableI regenerates the space-to-socket mapping (Table I).
@@ -33,7 +74,7 @@ func BenchmarkTableI(b *testing.B) {
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		res, err := r.TableII()
+		res, err := r.TableII(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +88,7 @@ func BenchmarkTableII(b *testing.B) {
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		res, err := r.TableIII()
+		res, err := r.TableIII(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +101,7 @@ func BenchmarkTableIII(b *testing.B) {
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		rows, err := r.Fig3()
+		rows, err := r.Fig3(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +113,7 @@ func BenchmarkFig3(b *testing.B) {
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		res, err := r.Fig4()
+		res, err := r.Fig4(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +128,7 @@ func BenchmarkFig4(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		res, err := r.Fig5()
+		res, err := r.Fig5(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +141,7 @@ func BenchmarkFig5(b *testing.B) {
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		rows, _, err := r.Fig6()
+		rows, _, err := r.Fig6(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +159,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		rows, err := r.Fig7()
+		rows, err := r.Fig7(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +172,7 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		rows, err := r.Fig8()
+		rows, err := r.Fig8(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +185,7 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkAblationL3Size(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		res, err := r.AblationL3([]int{4, 20})
+		res, err := r.AblationL3(ctx, []int{4, 20})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +198,7 @@ func BenchmarkAblationL3Size(b *testing.B) {
 func BenchmarkAblationObserver(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		if _, err := r.AblationObserver([]int{1, 2, 4}, "pmd"); err != nil {
+		if _, err := r.AblationObserver(ctx, []int{1, 2, 4}, "pmd"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -168,7 +209,7 @@ func BenchmarkAblationObserver(b *testing.B) {
 func BenchmarkAblationNursery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		res, err := r.AblationNursery([]int{4, 32})
+		res, err := r.AblationNursery(ctx, []int{4, 32})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +221,7 @@ func BenchmarkAblationNursery(b *testing.B) {
 func BenchmarkAblationMonitorSocket(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		res, err := r.AblationMonitorSocket("pmd")
+		res, err := r.AblationMonitorSocket(ctx, "pmd")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +234,7 @@ func BenchmarkAblationMonitorSocket(b *testing.B) {
 func BenchmarkAblationFreeLists(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := quickRunner()
-		res, err := r.AblationFreeLists("pmd")
+		res, err := r.AblationFreeLists(ctx, "pmd")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,26 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/jvm"
+	hybridmem "repro"
 	"repro/internal/lifetime"
-	"repro/internal/workloads"
 )
-
-func collectorByName(name string) (jvm.Kind, bool) {
-	for k := jvm.PCMOnly; k < jvm.NumKinds; k++ {
-		if strings.EqualFold(k.String(), name) {
-			return k, true
-		}
-	}
-	return 0, false
-}
 
 func main() {
 	app := flag.String("app", "lusearch", "benchmark name (see -list)")
@@ -43,44 +31,47 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
-	scales := map[string]experiments.Scale{
-		"quick": experiments.Quick, "std": experiments.Std, "full": experiments.Full,
-	}
-	sc, ok := scales[*scale]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "hybridemu: unknown scale %q\n", *scale)
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "hybridemu: %v\n", err)
 		os.Exit(2)
 	}
-	factory := experiments.Config{Scale: sc}.Factory()
+
+	sc, err := hybridmem.ParseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
 
 	if *list {
-		for _, n := range []string{"avrora", "bloat", "eclipse", "fop", "luindex",
-			"lusearch", "lu.Fix", "pmd", "pmd.S", "sunflow", "xalan", "pjbb", "PR", "CC", "ALS"} {
+		for _, n := range hybridmem.Apps() {
 			fmt.Println(n)
 		}
 		return
 	}
 
-	kind, ok := collectorByName(*gcName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "hybridemu: unknown collector %q\n", *gcName)
-		os.Exit(2)
+	kind, err := hybridmem.ParseCollector(*gcName)
+	if err != nil {
+		fail(err)
 	}
-	opts := core.DefaultOptions()
-	opts.Seed = *seed
-	opts.AppFactory = factory
-	if *mode == "sim" {
-		opts.Mode = core.Simulation
+	ds, err := hybridmem.ParseDataset(*dataset)
+	if err != nil {
+		fail(err)
 	}
-	if *l3mb > 0 {
-		opts.L3Bytes = *l3mb << 20
-	}
-	ds := workloads.Default
-	if *dataset == "large" {
-		ds = workloads.Large
+	md, err := hybridmem.ParseMode(*mode)
+	if err != nil {
+		fail(err)
 	}
 
-	res, err := core.Run(opts, core.RunSpec{
+	opts := []hybridmem.Option{
+		hybridmem.WithScale(sc),
+		hybridmem.WithSeed(*seed),
+		hybridmem.WithMode(md),
+	}
+	if *l3mb > 0 {
+		opts = append(opts, hybridmem.WithL3MB(*l3mb))
+	}
+	p := hybridmem.New(opts...)
+
+	res, err := p.Run(context.Background(), hybridmem.RunSpec{
 		AppName:   *app,
 		Collector: kind,
 		Instances: *instances,
@@ -96,12 +87,12 @@ func main() {
 	if *native {
 		lang = "C++"
 	}
-	fmt.Printf("%s %s x%d (%s, %s, %s scale)\n", lang, *app, *instances, kind, *mode, sc)
+	fmt.Printf("%s %s x%d (%s, %s, %s scale)\n", lang, *app, *instances, kind, md, sc)
 	fmt.Printf("  measured iteration:  %.4f s\n", res.Seconds)
 	fmt.Printf("  PCM writes:          %d lines (%.2f MB)\n", res.PCMWriteLines, float64(res.PCMWriteBytes())/1e6)
 	fmt.Printf("  DRAM writes:         %d lines (%.2f MB)\n", res.DRAMWriteLines, float64(res.DRAMWriteBytes())/1e6)
 	fmt.Printf("  PCM write rate:      %.1f MB/s (recommended limit %.0f MB/s)\n",
-		res.PCMRateMBs(), lifetime.PaperRecommendedRateMBs())
+		res.PCMRateMBs(), hybridmem.RecommendedRateMBs())
 	fmt.Printf("  QPI traffic:         %d read / %d write lines\n", res.QPI.ReadLines, res.QPI.WriteLines)
 	if len(res.RuntimeStats) > 0 {
 		s := res.RuntimeStats[0]
@@ -118,8 +109,7 @@ func main() {
 		{"30M writes/cell", lifetime.Prototype2Endurance},
 		{"50M writes/cell", lifetime.Prototype3Endurance},
 	} {
-		years := lifetime.YearsFromMBs(lifetime.DefaultPCMBytes, e.v, res.PCMRateMBs(),
-			lifetime.DefaultWearLevelingEfficiency)
+		years := hybridmem.LifetimeYears(lifetime.DefaultPCMBytes, e.v, res.PCMRateMBs())
 		fmt.Printf("  lifetime @ %s: %.0f years\n", e.name, years)
 	}
 }

@@ -13,31 +13,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	hybridmem "repro"
 	"repro/internal/experiments"
 )
 
 func main() {
 	scale := flag.String("scale", "std", "input scale: quick, std, or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 0, "concurrent platform runs (0 = one per core)")
 	only := flag.String("only", "", "comma-separated subset (tableI,tableII,tableIII,fig3,fig4,fig5,fig6,fig7,fig8,ablations)")
 	flag.Parse()
 
-	var sc experiments.Scale
-	switch *scale {
-	case "quick":
-		sc = experiments.Quick
-	case "std":
-		sc = experiments.Std
-	case "full":
-		sc = experiments.Full
-	default:
-		fmt.Fprintf(os.Stderr, "paperfigs: unknown scale %q\n", *scale)
+	sc, err := hybridmem.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -49,7 +46,11 @@ func main() {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
-	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed})
+	// Ctrl-C cancels the in-flight experiment batches.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Parallelism: *parallel})
 	fmt.Printf("# Paper evaluation regeneration (scale=%s, seed=%d)\n\n", sc, *seed)
 	start := time.Now()
 	step := func(name string, f func() (string, error)) {
@@ -68,56 +69,56 @@ func main() {
 
 	step("tableI", func() (string, error) { return experiments.RenderTableI(), nil })
 	step("tableII", func() (string, error) {
-		res, err := r.TableII()
+		res, err := r.TableII(ctx)
 		if err != nil {
 			return "", err
 		}
 		return res.Render(), nil
 	})
 	step("fig3", func() (string, error) {
-		rows, err := r.Fig3()
+		rows, err := r.Fig3(ctx)
 		if err != nil {
 			return "", err
 		}
 		return experiments.RenderFig3(rows), nil
 	})
 	step("fig4", func() (string, error) {
-		res, err := r.Fig4()
+		res, err := r.Fig4(ctx)
 		if err != nil {
 			return "", err
 		}
 		return experiments.RenderFig4(res), nil
 	})
 	step("fig5", func() (string, error) {
-		res, err := r.Fig5()
+		res, err := r.Fig5(ctx)
 		if err != nil {
 			return "", err
 		}
 		return experiments.RenderFig5(res), nil
 	})
 	step("fig6", func() (string, error) {
-		rows, rec, err := r.Fig6()
+		rows, rec, err := r.Fig6(ctx)
 		if err != nil {
 			return "", err
 		}
 		return experiments.RenderFig6(rows, rec), nil
 	})
 	step("fig7", func() (string, error) {
-		rows, err := r.Fig7()
+		rows, err := r.Fig7(ctx)
 		if err != nil {
 			return "", err
 		}
 		return experiments.RenderFig7(rows), nil
 	})
 	step("fig8", func() (string, error) {
-		rows, err := r.Fig8()
+		rows, err := r.Fig8(ctx)
 		if err != nil {
 			return "", err
 		}
 		return experiments.RenderFig8(rows), nil
 	})
 	step("tableIII", func() (string, error) {
-		res, err := r.TableIII()
+		res, err := r.TableIII(ctx)
 		if err != nil {
 			return "", err
 		}
@@ -125,31 +126,31 @@ func main() {
 	})
 	step("ablations", func() (string, error) {
 		var b strings.Builder
-		l3, err := r.AblationL3([]int{4, 20})
+		l3, err := r.AblationL3(ctx, []int{4, 20})
 		if err != nil {
 			return "", err
 		}
 		b.WriteString(l3.Render())
 		b.WriteByte('\n')
-		obs, err := r.AblationObserver([]int{1, 2, 4}, "pmd")
+		obs, err := r.AblationObserver(ctx, []int{1, 2, 4}, "pmd")
 		if err != nil {
 			return "", err
 		}
 		b.WriteString(obs.Render())
 		b.WriteByte('\n')
-		nur, err := r.AblationNursery([]int{4, 32})
+		nur, err := r.AblationNursery(ctx, []int{4, 32})
 		if err != nil {
 			return "", err
 		}
 		b.WriteString(nur.Render())
 		b.WriteByte('\n')
-		mon, err := r.AblationMonitorSocket("pmd")
+		mon, err := r.AblationMonitorSocket(ctx, "pmd")
 		if err != nil {
 			return "", err
 		}
 		b.WriteString(mon.Render())
 		b.WriteByte('\n')
-		fl, err := r.AblationFreeLists("pmd")
+		fl, err := r.AblationFreeLists(ctx, "pmd")
 		if err != nil {
 			return "", err
 		}

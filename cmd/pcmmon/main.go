@@ -12,9 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/experiments"
+	hybridmem "repro"
 	"repro/internal/jvm"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -29,18 +28,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 
-	var kind jvm.Kind
-	found := false
-	for k := jvm.PCMOnly; k < jvm.NumKinds; k++ {
-		if strings.EqualFold(k.String(), *gcName) {
-			kind, found = k, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "pcmmon: unknown collector %q\n", *gcName)
+	kind, err := hybridmem.ParseCollector(*gcName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcmmon: %v\n", err)
 		os.Exit(2)
 	}
-	app := experiments.Config{Scale: experiments.Std}.Factory()(*appName)
+	app := hybridmem.ScaledApps(hybridmem.Std)(*appName)
 	if app == nil {
 		fmt.Fprintf(os.Stderr, "pcmmon: unknown app %q\n", *appName)
 		os.Exit(2)
@@ -69,7 +62,7 @@ func main() {
 		rt.SetIteration(2)
 		app.Run(env, workloads.Default, *seed+7)
 	})
-	err := k.Run([]*kernel.Process{proc}, kernel.RunConfig{
+	err = k.Run([]*kernel.Process{proc}, kernel.RunConfig{
 		ThreadsPerProc: 4,
 		OnQuantum:      mon.OnQuantum,
 		OnBarrier: func() {

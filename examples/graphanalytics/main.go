@@ -1,10 +1,12 @@
 // Graph analytics: the paper's Fig 3 scenario — compare the C++ and
 // Java implementations of the GraphChi applications on a PCM-Only
 // system, then show what the Kingsguard collectors recover on hybrid
-// memory.
+// memory. The Java collector sweep runs through the platform's worker
+// pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,23 +14,25 @@ import (
 )
 
 func main() {
-	opts := hybridmem.Emulator()
-	opts.AppFactory = hybridmem.ScaledApps(hybridmem.Quick)
-	opts.BootMB = 4
+	p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick))
+	ctx := context.Background()
 
 	fmt.Println("GraphChi PageRank, PCM writes by language and collector:")
-	cpp, err := hybridmem.Run(opts, hybridmem.RunSpec{AppName: "PR", Native: true})
+	cpp, err := p.Run(ctx, hybridmem.RunSpec{AppName: "PR", Native: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  C++  (PCM-Only): %8d lines, %6.1f MB allocated\n",
 		cpp.PCMWriteLines, float64(cpp.AllocBytes[0])/1e6)
 
-	for _, gc := range []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGN, hybridmem.KGW} {
-		res, err := hybridmem.Run(opts, hybridmem.RunSpec{AppName: "PR", Collector: gc})
-		if err != nil {
-			log.Fatal(err)
-		}
+	gcs := []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGN, hybridmem.KGW}
+	sweep := hybridmem.NewSweep("PR").Collectors(gcs...)
+	results, err := p.RunSweep(ctx, sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, gc := range gcs {
+		res := results[i]
 		fmt.Printf("  Java (%-8s): %8d lines, %6.1f MB allocated, %d minor / %d full GCs\n",
 			gc, res.PCMWriteLines, float64(res.AllocBytes[0])/1e6,
 			res.RuntimeStats[0].MinorGCs, res.RuntimeStats[0].FullGCs)

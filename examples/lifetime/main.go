@@ -1,10 +1,13 @@
 // Lifetime study: the paper's Table III scenario — measure PCM write
 // rates for single-program and multiprogrammed workloads and project
 // PCM lifetime in years under the paper's three endurance prototypes
-// (Equation 1, 32 GB PCM, 50% wear-leveling efficiency).
+// (Equation 1, 32 GB PCM, 50% wear-leveling efficiency). The
+// instances x collectors grid is one declarative Sweep executed in
+// parallel.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,9 +15,7 @@ import (
 )
 
 func main() {
-	opts := hybridmem.Emulator()
-	opts.AppFactory = hybridmem.ScaledApps(hybridmem.Quick)
-	opts.BootMB = 4
+	p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick))
 
 	endurances := []struct {
 		name string
@@ -25,22 +26,21 @@ func main() {
 		{"Prototype 3 (50M writes/cell)", 50e6},
 	}
 
-	for _, n := range []int{1, 4} {
-		for _, gc := range []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGW} {
-			res, err := hybridmem.Run(opts, hybridmem.RunSpec{
-				AppName:   "xalan",
-				Collector: gc,
-				Instances: n,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			rate := res.PCMRateMBs()
-			fmt.Printf("xalan x%d under %-8s: %6.1f MB/s to PCM\n", n, gc, rate)
-			for _, p := range endurances {
-				years := hybridmem.LifetimeYears(32<<30, p.e, rate)
-				fmt.Printf("    %-30s %6.0f years\n", p.name, years)
-			}
+	gcs := []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGW}
+	counts := []int{1, 4}
+	specs := hybridmem.NewSweep("xalan").Collectors(gcs...).Instances(counts...).Specs()
+	results, err := p.RunBatch(context.Background(), specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, spec := range specs {
+		rate := results[i].PCMRateMBs()
+		fmt.Printf("xalan x%d under %-8s: %6.1f MB/s to PCM\n",
+			spec.Instances, spec.Collector, rate)
+		for _, proto := range endurances {
+			years := hybridmem.LifetimeYears(32<<30, proto.e, rate)
+			fmt.Printf("    %-30s %6.0f years\n", proto.name, years)
 		}
 	}
 	fmt.Printf("\nvendor-recommended sustained rate: %.0f MB/s\n", hybridmem.RecommendedRateMBs())

@@ -1,10 +1,12 @@
 // Multiprogrammed workloads: the paper's Fig 4 scenario — PCM writes
 // grow super-linearly with co-running instances under PCM-Only because
 // the instances interfere in the shared LLC, while KG-W dampens the
-// growth by keeping nursery writes in DRAM.
+// growth by keeping nursery writes in DRAM. The whole grid runs as one
+// parallel batch; the printout then reads the memoized results.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,15 +14,21 @@ import (
 )
 
 func main() {
-	opts := hybridmem.Emulator()
-	opts.AppFactory = hybridmem.ScaledApps(hybridmem.Quick)
-	opts.BootMB = 4
+	p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick))
+	ctx := context.Background()
 
-	for _, gc := range []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGW} {
+	gcs := []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGW}
+	counts := []int{1, 2, 4}
+	if _, err := p.RunSweep(ctx, hybridmem.NewSweep("pmd").
+		Collectors(gcs...).Instances(counts...)); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, gc := range gcs {
 		fmt.Printf("%s:\n", gc)
 		var base float64
-		for _, n := range []int{1, 2, 4} {
-			res, err := hybridmem.Run(opts, hybridmem.RunSpec{
+		for _, n := range counts {
+			res, err := p.Run(ctx, hybridmem.RunSpec{
 				AppName:   "pmd",
 				Collector: gc,
 				Instances: n,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,20 +13,19 @@ import (
 )
 
 func main() {
-	opts := hybridmem.Emulator()
-	// Quick-scale inputs keep the example snappy; drop this line for
-	// the paper's sizes.
-	opts.AppFactory = hybridmem.ScaledApps(hybridmem.Quick)
-	opts.BootMB = 4
+	// Quick-scale inputs keep the example snappy; use
+	// hybridmem.WithScale(hybridmem.Full) for the paper's sizes.
+	p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick))
+	ctx := context.Background()
 
-	base, err := hybridmem.Run(opts, hybridmem.RunSpec{
+	base, err := p.Run(ctx, hybridmem.RunSpec{
 		AppName:   "lusearch",
 		Collector: hybridmem.PCMOnly,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	kgw, err := hybridmem.Run(opts, hybridmem.RunSpec{
+	kgw, err := p.Run(ctx, hybridmem.RunSpec{
 		AppName:   "lusearch",
 		Collector: hybridmem.KGW,
 	})

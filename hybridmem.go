@@ -14,19 +14,38 @@
 // applications, pjbb2005, and a GraphChi engine running PageRank,
 // Connected Components, and ALS).
 //
-// A minimal experiment:
+// Experiments run through a Platform, constructed once and reused:
 //
-//	opts := hybridmem.Emulator()
-//	res, err := hybridmem.Run(opts, hybridmem.RunSpec{
+//	p := hybridmem.New(
+//		hybridmem.WithScale(hybridmem.Quick),
+//		hybridmem.WithSeed(7),
+//	)
+//	res, err := p.Run(ctx, hybridmem.RunSpec{
 //		AppName:   "lusearch",
 //		Collector: hybridmem.KGW,
 //	})
 //	// res.PCMWriteLines, res.PCMRateMBs(), ...
 //
-// Run executes the paper's replay-compilation methodology: a warmup
-// iteration, a barrier, then a measured iteration whose socket write
-// counters and simulated time produce PCM write counts and rates
-// (MB/s). Results are deterministic for a given seed.
+// Each Run executes the paper's replay-compilation methodology: a
+// warmup iteration, a barrier, then a measured iteration whose socket
+// write counters and simulated time produce PCM write counts and rates
+// (MB/s). Results are deterministic for a given seed, and the Platform
+// memoizes them: identical configurations run once, concurrent callers
+// share the in-flight run.
+//
+// The paper's evaluation is thousands of such runs. RunBatch executes
+// independent experiments in parallel across host cores, and Sweep
+// enumerates the grids declaratively:
+//
+//	sweep := hybridmem.NewSweep("lusearch", "pmd", "xalan").
+//		Collectors(hybridmem.Collectors()...).
+//		Instances(1, 2, 4)
+//	results, err := p.RunSweep(ctx, sweep)
+//
+// Derived platforms share the result cache, so sensitivity studies
+// vary one knob without re-running the rest:
+//
+//	ref, err := p.With(hybridmem.WithThreadSocket(0)).Run(ctx, spec)
 //
 // The experiment drivers that regenerate every table and figure of the
 // paper live in internal/experiments and are exposed through the
@@ -35,7 +54,6 @@ package hybridmem
 
 import (
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/jvm"
 	"repro/internal/lifetime"
 	"repro/internal/workloads"
@@ -79,14 +97,12 @@ const (
 	Simulation = core.Simulation
 )
 
-// Options configure the platform; see core.Options for every knob.
-type Options = core.Options
-
 // RunSpec selects one experiment (application, collector, instances,
 // dataset, native).
 type RunSpec = core.RunSpec
 
-// Result is the measured iteration's outcome.
+// Result is the measured iteration's outcome. It round-trips through
+// JSON via EncodeResult and DecodeResult.
 type Result = core.Result
 
 // Dataset selects default or large inputs.
@@ -103,24 +119,6 @@ const (
 // App is a benchmark application.
 type App = workloads.App
 
-// Emulator returns options for the emulation pipeline (the paper's
-// contribution).
-func Emulator() Options {
-	return core.DefaultOptions()
-}
-
-// Simulator returns options for the Sniper-style validation pipeline.
-func Simulator() Options {
-	o := core.DefaultOptions()
-	o.Mode = core.Simulation
-	return o
-}
-
-// Run executes one experiment.
-func Run(opts Options, spec RunSpec) (Result, error) {
-	return core.Run(opts, spec)
-}
-
 // Apps returns the registry names of the paper's 15 benchmarks.
 func Apps() []string { return all.Names() }
 
@@ -134,25 +132,67 @@ func Collectors() []Collector {
 	return []Collector{PCMOnly, KGN, KGB, KGNLOO, KGBLOO, KGW, KGWNoLOO, KGWNoMDO}
 }
 
-// Scale selects experiment input sizes for the bundled experiment
-// drivers.
-type Scale = experiments.Scale
+// Scale selects experiment input sizes.
+type Scale int
 
 // Experiment scales.
 const (
-	// Quick is CI-sized.
-	Quick = experiments.Quick
-	// Std is the EXPERIMENTS.md scale.
-	Std = experiments.Std
-	// Full is the paper's scale.
-	Full = experiments.Full
+	// Quick is CI-sized: quarter-scale allocation profiles and
+	// LLC-sized graphs.
+	Quick Scale = iota
+	// Std is the EXPERIMENTS.md scale: full DaCapo profiles, 1M-edge
+	// graphs, 4x large datasets.
+	Std
+	// Full is the paper's scale (10x large datasets; slow).
+	Full
 )
 
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Std:
+		return "std"
+	default:
+		return "full"
+	}
+}
+
+// graphEdges returns the default GraphChi dataset size for the scale.
+// Std and Full both use the paper's 1M edges: smaller graphs fit the
+// 20 MB LLC entirely and lose the cache effects the paper measures;
+// they differ in the large-dataset multiplier (4x vs the paper's 10x)
+// to bound Fig 8's cost.
+func (s Scale) graphEdges() int {
+	if s == Quick {
+		return 150_000
+	}
+	return 1_000_000
+}
+
+// graphLargeFactor is the large-dataset multiplier for GraphChi.
+func (s Scale) graphLargeFactor() int {
+	if s == Full {
+		return 10
+	}
+	return 4
+}
+
+// allocScale shrinks the profile apps' iteration volume in Quick mode.
+func (s Scale) allocScale() float64 {
+	if s == Quick {
+		return 0.25
+	}
+	return 1
+}
+
 // ScaledApps returns an application factory with inputs sized for the
-// given scale — handy for examples and tests that cannot afford
-// paper-scale runs. Pass it as Options.AppFactory.
+// given scale. Platforms built with WithScale install it
+// automatically; it remains public for callers that assemble their own
+// factories.
 func ScaledApps(s Scale) func(name string) App {
-	return experiments.Config{Scale: s}.Factory()
+	return scaledFactory(s)
 }
 
 // LifetimeYears evaluates the paper's Equation 1: the expected PCM

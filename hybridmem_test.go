@@ -1,6 +1,11 @@
 package hybridmem
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workloads"
+)
 
 func TestAppsRegistry(t *testing.T) {
 	names := Apps()
@@ -28,10 +33,8 @@ func TestCollectors(t *testing.T) {
 }
 
 func TestEndToEndQuickRun(t *testing.T) {
-	opts := Emulator()
-	opts.AppFactory = ScaledApps(Quick)
-	opts.BootMB = 4
-	res, err := Run(opts, RunSpec{AppName: "pmd", Collector: KGW})
+	p := New(WithScale(Quick))
+	res, err := p.Run(context.Background(), RunSpec{AppName: "pmd", Collector: KGW})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,15 +47,40 @@ func TestEndToEndQuickRun(t *testing.T) {
 }
 
 func TestSimulatorMode(t *testing.T) {
-	opts := Simulator()
-	opts.AppFactory = ScaledApps(Quick)
-	opts.BootMB = 4
-	res, err := Run(opts, RunSpec{AppName: "pmd", Collector: KGN})
+	p := New(WithScale(Quick), WithMode(Simulation))
+	res, err := p.Run(context.Background(), RunSpec{AppName: "pmd", Collector: KGN})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ZeroedPages != 0 {
 		t.Error("simulation mode must not include OS page zeroing")
+	}
+}
+
+func TestScaleStrings(t *testing.T) {
+	if Quick.String() != "quick" || Std.String() != "std" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestScaledAppsFactory(t *testing.T) {
+	if Quick.graphEdges() >= Std.graphEdges() {
+		t.Error("Quick graphs must be smaller than Std")
+	}
+	if Std.graphLargeFactor() >= Full.graphLargeFactor() {
+		t.Error("Std large factor must be below Full's 10x")
+	}
+	factory := ScaledApps(Quick)
+	app := factory("lusearch")
+	if app == nil {
+		t.Fatal("factory lost lusearch")
+	}
+	pa := app.(*workloads.ProfileApp)
+	if pa.P.AllocMB >= 200 {
+		t.Error("Quick scale must shrink the allocation volume")
+	}
+	if factory("nope") != nil {
+		t.Error("factory should return nil for unknown apps")
 	}
 }
 

@@ -1,12 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/jvm"
+	hybridmem "repro"
 	"repro/internal/stats"
-	"repro/internal/workloads"
 )
 
 // AblationL3Result is the cache-size sensitivity of KG-N (§V): the
@@ -19,21 +18,19 @@ type AblationL3Result struct {
 
 // AblationL3 sweeps the shared-cache size and measures KG-N's
 // PCM-write reduction over PCM-Only on the DaCapo trio.
-func (r *Runner) AblationL3(l3MBs []int) (AblationL3Result, error) {
+func (r *Runner) AblationL3(ctx context.Context, l3MBs []int) (AblationL3Result, error) {
 	res := AblationL3Result{L3MB: l3MBs}
 	apps := r.cfg.dacapoApps()
 	for _, mb := range l3MBs {
+		sized := r.p.With(hybridmem.WithL3MB(mb))
+		ref := sized.With(hybridmem.WithThreadSocket(0))
 		var reds []float64
 		for _, app := range apps {
-			opts := r.opts(core.Emulation)
-			opts.L3Bytes = mb << 20
-			optsRef := opts
-			optsRef.ThreadSocket = 0
-			base, err := r.run(optsRef, core.RunSpec{AppName: app, Collector: jvm.PCMOnly})
+			base, err := ref.Run(ctx, hybridmem.RunSpec{AppName: app, Collector: hybridmem.PCMOnly})
 			if err != nil {
 				return res, err
 			}
-			kgn, err := r.run(opts, core.RunSpec{AppName: app, Collector: jvm.KGN})
+			kgn, err := sized.Run(ctx, hybridmem.RunSpec{AppName: app, Collector: hybridmem.KGN})
 			if err != nil {
 				return res, err
 			}
@@ -66,13 +63,12 @@ type AblationObserverResult struct {
 }
 
 // AblationObserver sweeps the observer:nursery factor for KG-W.
-func (r *Runner) AblationObserver(factors []int, app string) (AblationObserverResult, error) {
+func (r *Runner) AblationObserver(ctx context.Context, factors []int, app string) (AblationObserverResult, error) {
 	res := AblationObserverResult{Factor: factors}
 	var base float64
 	for _, f := range factors {
-		opts := r.opts(core.Emulation)
-		opts.ObserverFactor = f
-		run, err := r.run(opts, core.RunSpec{AppName: app, Collector: jvm.KGW})
+		run, err := r.p.With(hybridmem.WithObserverFactor(f)).Run(ctx,
+			hybridmem.RunSpec{AppName: app, Collector: hybridmem.KGW})
 		if err != nil {
 			return res, err
 		}
@@ -114,12 +110,11 @@ type AblationNurseryResult struct {
 }
 
 // AblationNursery runs PR under different nursery sizes with KG-N.
-func (r *Runner) AblationNursery(sizesMB []int) (AblationNurseryResult, error) {
+func (r *Runner) AblationNursery(ctx context.Context, sizesMB []int) (AblationNurseryResult, error) {
 	res := AblationNurseryResult{NurseryMB: sizesMB}
 	for _, mb := range sizesMB {
-		opts := r.opts(core.Emulation)
-		opts.BaseNurseryMB = mb
-		run, err := r.run(opts, core.RunSpec{AppName: "PR", Collector: jvm.KGN})
+		run, err := r.p.With(hybridmem.WithBaseNurseryMB(mb)).Run(ctx,
+			hybridmem.RunSpec{AppName: "PR", Collector: hybridmem.KGN})
 		if err != nil {
 			return res, err
 		}
@@ -149,12 +144,11 @@ type AblationMonitorResult struct {
 
 // AblationMonitorSocket measures PCM-write contamination when the
 // monitor runs on each socket.
-func (r *Runner) AblationMonitorSocket(app string) (AblationMonitorResult, error) {
+func (r *Runner) AblationMonitorSocket(ctx context.Context, app string) (AblationMonitorResult, error) {
 	res := AblationMonitorResult{Node: []int{0, 1}}
 	for _, node := range res.Node {
-		opts := r.opts(core.Emulation)
-		opts.MonitorNode = node
-		run, err := r.run(opts, core.RunSpec{AppName: app, Collector: jvm.KGW})
+		run, err := r.p.With(hybridmem.WithMonitorNode(node)).Run(ctx,
+			hybridmem.RunSpec{AppName: app, Collector: hybridmem.KGW})
 		if err != nil {
 			return res, err
 		}
@@ -185,12 +179,11 @@ type AblationFreeListsResult struct {
 
 // AblationFreeLists runs a full-GC-heavy workload under both chunk
 // policies.
-func (r *Runner) AblationFreeLists(app string) (AblationFreeListsResult, error) {
+func (r *Runner) AblationFreeLists(ctx context.Context, app string) (AblationFreeListsResult, error) {
 	res := AblationFreeListsResult{Unmap: []bool{false, true}}
 	for _, unmap := range res.Unmap {
-		opts := r.opts(core.Emulation)
-		opts.UnmapFreedChunks = unmap
-		run, err := r.run(opts, core.RunSpec{AppName: app, Collector: jvm.KGW})
+		run, err := r.p.With(hybridmem.WithUnmapFreedChunks(unmap)).Run(ctx,
+			hybridmem.RunSpec{AppName: app, Collector: hybridmem.KGW})
 		if err != nil {
 			return res, err
 		}
@@ -212,13 +205,3 @@ func (a AblationFreeListsResult) Render() string {
 	}
 	return tb.String()
 }
-
-// quickApp picks a cheap representative application for ablations.
-func (r *Runner) quickApp() string {
-	if r.cfg.Scale == Quick {
-		return "pmd"
-	}
-	return "pjbb"
-}
-
-var _ = workloads.Default

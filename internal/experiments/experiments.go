@@ -1,9 +1,11 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation (Tables I–III, Figures 3–8) plus the ablation
-// studies DESIGN.md calls out. Each driver runs the needed platform
-// configurations through internal/core, reuses shared runs via a
-// memoizing Runner, and renders the same rows/series the paper
-// reports.
+// studies DESIGN.md calls out. Each driver expresses its grid of
+// platform runs against the public hybridmem.Platform engine: shared
+// configurations (e.g. the 1-instance PCM-Only runs of Figs 4, 5, and
+// 6) are served from the platform's result cache, and the wide grids
+// are prefetched through RunBatch so they execute in parallel across
+// host cores.
 //
 // Reproduction targets the paper's *shape* — orderings, ratios,
 // crossovers — not absolute counts: the substrate is a software model
@@ -12,75 +14,33 @@
 package experiments
 
 import (
-	"fmt"
-	"sort"
+	"context"
 
-	"repro/internal/core"
-	"repro/internal/jvm"
+	hybridmem "repro"
 	"repro/internal/workloads"
-	"repro/internal/workloads/all"
 	"repro/internal/workloads/dacapo"
-	"repro/internal/workloads/graphchi"
-	"repro/internal/workloads/pjbb"
 )
 
-// Scale selects input sizes.
-type Scale int
+// Scale selects input sizes (re-exported from the public facade for
+// the drivers' callers).
+type Scale = hybridmem.Scale
 
+// Experiment scales.
 const (
 	// Quick is quarter-scale for tests and benches.
-	Quick Scale = iota
-	// Std is the scale EXPERIMENTS.md is generated at: full DaCapo
-	// profiles, 400k-edge graphs (4M large).
-	Std
-	// Full is the paper's scale: 1M-edge graphs (10M large).
-	Full
+	Quick = hybridmem.Quick
+	// Std is the scale EXPERIMENTS.md is generated at.
+	Std = hybridmem.Std
+	// Full is the paper's scale.
+	Full = hybridmem.Full
 )
-
-// String names the scale.
-func (s Scale) String() string {
-	switch s {
-	case Quick:
-		return "quick"
-	case Std:
-		return "std"
-	default:
-		return "full"
-	}
-}
 
 // Config parameterizes an experiment run.
 type Config struct {
 	Scale Scale
 	Seed  uint64
-}
-
-// graphEdges returns the default GraphChi dataset size for the scale.
-// Std and Full both use the paper's 1M edges: smaller graphs fit the
-// 20 MB LLC entirely and lose the cache effects the paper measures;
-// they differ in the large-dataset multiplier (4x vs the paper's 10x)
-// to bound Fig 8's cost.
-func (c Config) graphEdges() int {
-	if c.Scale == Quick {
-		return 150_000
-	}
-	return 1_000_000
-}
-
-// graphLargeFactor is the large-dataset multiplier for GraphChi.
-func (c Config) graphLargeFactor() int {
-	if c.Scale == Full {
-		return 10
-	}
-	return 4
-}
-
-// allocScale shrinks the profile apps' iteration volume in Quick mode.
-func (c Config) allocScale() float64 {
-	if c.Scale == Quick {
-		return 0.25
-	}
-	return 1
+	// Parallelism caps RunBatch workers (0 = one per core).
+	Parallelism int
 }
 
 // dacapoApps returns the DaCapo names an experiment iterates: a
@@ -98,102 +58,58 @@ func (c Config) dacapoApps() []string {
 	}
 }
 
-// Factory returns the scaled application factory, for callers (the
-// public facade, examples) that need scale-consistent app instances.
-func (c Config) Factory() func(string) workloads.App {
-	return c.factory()
-}
-
-// factory builds the scaled application factory.
-func (c Config) factory() func(string) workloads.App {
-	edges := c.graphEdges()
-	scale := c.allocScale()
-	largeFactor := c.graphLargeFactor()
-	return func(name string) workloads.App {
-		switch name {
-		case "PR":
-			return graphchi.NewWithEdgesAndLarge(graphchi.PR, edges, largeFactor)
-		case "CC":
-			return graphchi.NewWithEdgesAndLarge(graphchi.CC, edges, largeFactor)
-		case "ALS":
-			return graphchi.NewWithEdgesAndLarge(graphchi.ALS, edges, largeFactor)
-		}
-		app := all.New(name)
-		if app == nil {
-			return nil
-		}
-		if pa, ok := app.(*workloads.ProfileApp); ok && scale != 1 {
-			p := pa.P
-			p.AllocMB = int(float64(p.AllocMB) * scale)
-			if p.AllocMB < 2 {
-				p.AllocMB = 2
-			}
-			return workloads.NewProfileApp(p)
-		}
-		return app
-	}
-}
-
-// Runner memoizes core runs so experiments sharing configurations
-// (e.g. the 1-instance PCM-Only runs of Figs 4, 5, and 6) execute
-// them once.
+// Runner drives the experiment grids through one shared Platform, so
+// every driver reuses the runs the others already executed. Driver
+// methods take a context; cancelling it stops the underlying batches.
 type Runner struct {
-	cfg   Config
-	cache map[string]core.Result
+	cfg Config
+	p   *hybridmem.Platform
 }
 
 // NewRunner returns a runner for the configuration.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{cfg: cfg, cache: map[string]core.Result{}}
+	return &Runner{
+		cfg: cfg,
+		p: hybridmem.New(
+			hybridmem.WithScale(cfg.Scale),
+			hybridmem.WithSeed(cfg.Seed+1),
+			hybridmem.WithParallelism(cfg.Parallelism),
+		),
+	}
 }
 
-// run executes (or replays) one platform run.
-func (r *Runner) run(opts core.Options, spec core.RunSpec) (core.Result, error) {
-	key := fmt.Sprintf("m%d|a%s|c%d|i%d|d%d|n%v|l%d|t%d|nur%d|obs%d|un%v|mon%d",
-		opts.Mode, spec.AppName, spec.Collector, spec.Instances, spec.Dataset,
-		spec.Native, opts.L3Bytes, opts.ThreadSocket, opts.BaseNurseryMB,
-		opts.ObserverFactor, opts.UnmapFreedChunks, opts.MonitorNode)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+// at returns the platform for a pipeline mode.
+func (r *Runner) at(mode hybridmem.Mode) *hybridmem.Platform {
+	if mode == hybridmem.Emulation {
+		return r.p
 	}
-	res, err := core.Run(opts, spec)
-	if err != nil {
-		return core.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
-	}
-	r.cache[key] = res
-	return res, nil
-}
-
-// opts builds the default emulation options for this runner.
-func (r *Runner) opts(mode core.Mode) core.Options {
-	o := core.DefaultOptions()
-	o.Mode = mode
-	o.Seed = r.cfg.Seed + 1
-	o.AppFactory = r.cfg.factory()
-	if r.cfg.Scale == Quick {
-		o.BootMB = 4
-	}
-	return o
+	return r.p.With(hybridmem.WithMode(mode))
 }
 
 // emul runs one managed emulation.
-func (r *Runner) emul(appName string, kind jvm.Kind, instances int, ds workloads.Dataset) (core.Result, error) {
-	return r.run(r.opts(core.Emulation), core.RunSpec{
+func (r *Runner) emul(ctx context.Context, appName string, kind hybridmem.Collector, instances int, ds workloads.Dataset) (hybridmem.Result, error) {
+	return r.p.Run(ctx, hybridmem.RunSpec{
 		AppName: appName, Collector: kind, Instances: instances, Dataset: ds,
 	})
 }
 
 // sim runs one managed simulation (Sniper pipeline).
-func (r *Runner) sim(appName string, kind jvm.Kind) (core.Result, error) {
-	return r.run(r.opts(core.Simulation), core.RunSpec{AppName: appName, Collector: kind})
+func (r *Runner) sim(ctx context.Context, appName string, kind hybridmem.Collector) (hybridmem.Result, error) {
+	return r.at(hybridmem.Simulation).Run(ctx, hybridmem.RunSpec{AppName: appName, Collector: kind})
 }
 
 // reference runs the Table II reference setup: PCM-Only bindings with
 // threads on socket 0, isolating system-level S0 effects.
-func (r *Runner) reference(mode core.Mode, appName string) (core.Result, error) {
-	o := r.opts(mode)
-	o.ThreadSocket = 0
-	return r.run(o, core.RunSpec{AppName: appName, Collector: jvm.PCMOnly})
+func (r *Runner) reference(ctx context.Context, mode hybridmem.Mode, appName string) (hybridmem.Result, error) {
+	return r.at(mode).With(hybridmem.WithThreadSocket(0)).Run(ctx,
+		hybridmem.RunSpec{AppName: appName, Collector: hybridmem.PCMOnly})
+}
+
+// prefetch warms the platform cache for a grid of specs in parallel;
+// the drivers then read the same runs back sequentially as cache hits.
+func (r *Runner) prefetch(ctx context.Context, specs []hybridmem.RunSpec) error {
+	_, err := r.p.RunBatch(ctx, specs...)
+	return err
 }
 
 // suiteApps maps each suite to the evaluation's application names.
@@ -215,31 +131,3 @@ func (r *Runner) allApps() []string {
 	names = append(names, "pjbb", "PR", "CC", "ALS")
 	return names
 }
-
-// nurseryOf reports the suite nursery of an app name (for reporting).
-func nurseryOf(name string) int {
-	switch name {
-	case "PR", "CC", "ALS":
-		return 32
-	case "pjbb":
-		return 4
-	default:
-		if dacapo.New(name) != nil {
-			return 4
-		}
-		return 4
-	}
-}
-
-// sortedKeys is a test helper exposing cache coverage.
-func (r *Runner) sortedKeys() []string {
-	keys := make([]string, 0, len(r.cache))
-	for k := range r.cache {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-var _ = pjbb.New // keep the suite packages linked for registry parity
-var _ = nurseryOf

@@ -1,18 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
-	"repro/internal/jvm"
+	hybridmem "repro"
 	"repro/internal/workloads"
 )
 
-func TestScaleStrings(t *testing.T) {
-	if Quick.String() != "quick" || Std.String() != "std" || Full.String() != "full" {
-		t.Error("scale names wrong")
-	}
-}
+// ctx is the default context for driver calls in tests.
+var ctx = context.Background()
 
 func TestTableIStructure(t *testing.T) {
 	rows := TableI()
@@ -60,43 +58,49 @@ func TestConfigScaling(t *testing.T) {
 	if len(q.dacapoApps()) >= len(Config{Scale: Full}.dacapoApps()) {
 		t.Error("Quick must use fewer DaCapo apps than Full")
 	}
-	if q.graphEdges() >= (Config{Scale: Std}).graphEdges() {
-		t.Error("Quick graphs must be smaller than Std")
-	}
-	if (Config{Scale: Std}).graphLargeFactor() >= (Config{Scale: Full}).graphLargeFactor() {
-		t.Error("Std large factor must be below Full's 10x")
-	}
-	app := q.factory()("lusearch")
-	if app == nil {
-		t.Fatal("factory lost lusearch")
-	}
-	pa := app.(*workloads.ProfileApp)
-	if pa.P.AllocMB >= 200 {
-		t.Error("Quick scale must shrink the allocation volume")
-	}
-	if q.factory()("nope") != nil {
-		t.Error("factory should return nil for unknown apps")
-	}
 }
 
 func TestRunnerCacheReuse(t *testing.T) {
 	r := NewRunner(Config{Scale: Quick, Seed: 1})
-	a, err := r.emul("pmd", jvm.KGN, 1, workloads.Default)
+	a, err := r.emul(ctx, "pmd", hybridmem.KGN, 1, workloads.Default)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.sortedKeys()) != 1 {
-		t.Fatalf("cache entries = %d, want 1", len(r.sortedKeys()))
+	stats := r.p.CacheStats()
+	if stats.Entries != 1 || stats.Misses != 1 {
+		t.Fatalf("cache after first run = %+v, want 1 entry / 1 miss", stats)
 	}
-	b, err := r.emul("pmd", jvm.KGN, 1, workloads.Default)
+	b, err := r.emul(ctx, "pmd", hybridmem.KGN, 1, workloads.Default)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.sortedKeys()) != 1 {
-		t.Error("identical run was not served from cache")
+	stats = r.p.CacheStats()
+	if stats.Entries != 1 || stats.Hits != 1 {
+		t.Errorf("identical run was not served from cache: %+v", stats)
 	}
 	if a.PCMWriteLines != b.PCMWriteLines {
 		t.Error("cached result differs")
+	}
+}
+
+func TestDerivedPlatformsShareCache(t *testing.T) {
+	// An ablation varying one knob must not re-run the base
+	// configuration, and its runs must land in the shared cache.
+	r := NewRunner(Config{Scale: Quick, Seed: 1})
+	if _, err := r.emul(ctx, "pmd", hybridmem.KGW, 1, workloads.Default); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AblationFreeLists(ctx, "pmd"); err != nil {
+		t.Fatal(err)
+	}
+	stats := r.p.CacheStats()
+	// Base KG-W run + unmap variant: 2 runs total, with the unmap=false
+	// leg of the ablation served from the first run's entry.
+	if stats.Entries != 2 {
+		t.Errorf("entries = %d, want 2 (base + unmap variant)", stats.Entries)
+	}
+	if stats.Hits == 0 {
+		t.Error("ablation did not reuse the base configuration's run")
 	}
 }
 
@@ -104,11 +108,11 @@ func TestReductionSmoke(t *testing.T) {
 	// One end-to-end reduction check: KG-W must cut PCM writes vs the
 	// PCM-Only reference for a DaCapo profile.
 	r := NewRunner(Config{Scale: Quick, Seed: 1})
-	base, err := r.reference(0, "pmd")
+	base, err := r.reference(ctx, hybridmem.Emulation, "pmd")
 	if err != nil {
 		t.Fatal(err)
 	}
-	kgw, err := r.emul("pmd", jvm.KGW, 1, workloads.Default)
+	kgw, err := r.emul(ctx, "pmd", hybridmem.KGW, 1, workloads.Default)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/jvm"
+	hybridmem "repro"
 	"repro/internal/lifetime"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -26,22 +26,29 @@ type Fig3Row struct {
 // Fig3 reproduces the language comparison: PCM writes of the C++ and
 // Java GraphChi implementations on PCM-Only, and Java under KG-N and
 // KG-W on hybrid memory.
-func (r *Runner) Fig3() ([]Fig3Row, error) {
+func (r *Runner) Fig3(ctx context.Context) ([]Fig3Row, error) {
+	graph := []string{"PR", "CC", "ALS"}
+	specs := hybridmem.NewSweep(graph...).Native().Specs()
+	specs = append(specs, hybridmem.NewSweep(graph...).
+		Collectors(hybridmem.PCMOnly, hybridmem.KGN, hybridmem.KGW).Specs()...)
+	if err := r.prefetch(ctx, specs); err != nil {
+		return nil, err
+	}
 	var rows []Fig3Row
-	for _, app := range []string{"PR", "CC", "ALS"} {
-		cpp, err := r.run(r.opts(core.Emulation), core.RunSpec{AppName: app, Native: true})
+	for _, app := range graph {
+		cpp, err := r.p.Run(ctx, hybridmem.RunSpec{AppName: app, Native: true})
 		if err != nil {
 			return nil, err
 		}
-		java, err := r.emul(app, jvm.PCMOnly, 1, 0)
+		java, err := r.emul(ctx, app, hybridmem.PCMOnly, 1, 0)
 		if err != nil {
 			return nil, err
 		}
-		kgn, err := r.emul(app, jvm.KGN, 1, 0)
+		kgn, err := r.emul(ctx, app, hybridmem.KGN, 1, 0)
 		if err != nil {
 			return nil, err
 		}
-		kgw, err := r.emul(app, jvm.KGW, 1, 0)
+		kgw, err := r.emul(ctx, app, hybridmem.KGW, 1, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -86,10 +93,15 @@ type Fig4Result struct {
 // Fig4 reproduces the multiprogramming study: average PCM writes at
 // 1, 2, and 4 instances, normalized per application to its 1-instance
 // writes, averaged per suite, under PCM-Only and KG-W.
-func (r *Runner) Fig4() (Fig4Result, error) {
+func (r *Runner) Fig4(ctx context.Context) (Fig4Result, error) {
 	var res Fig4Result
 	counts := []int{1, 2, 4}
-	for _, plan := range []jvm.Kind{jvm.PCMOnly, jvm.KGW} {
+	if err := r.prefetch(ctx, hybridmem.NewSweep(r.allApps()...).
+		Collectors(hybridmem.PCMOnly, hybridmem.KGW).
+		Instances(counts...).Specs()); err != nil {
+		return res, err
+	}
+	for _, plan := range []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGW} {
 		var all [][3]float64
 		var series []Fig4Series
 		for _, suite := range []workloads.Suite{workloads.DaCapo, workloads.Pjbb, workloads.GraphChi} {
@@ -98,7 +110,7 @@ func (r *Runner) Fig4() (Fig4Result, error) {
 				var g [3]float64
 				base := 0.0
 				for i, n := range counts {
-					run, err := r.emul(app, plan, n, 0)
+					run, err := r.emul(ctx, app, plan, n, 0)
 					if err != nil {
 						return res, err
 					}
@@ -114,7 +126,7 @@ func (r *Runner) Fig4() (Fig4Result, error) {
 			series = append(series, Fig4Series{Label: suite.String(), Growth: avg3(perApp)})
 		}
 		series = append(series, Fig4Series{Label: "All", Growth: avg3(all)})
-		if plan == jvm.PCMOnly {
+		if plan == hybridmem.PCMOnly {
 			res.PCMOnly = series
 		} else {
 			res.KGW = series
@@ -162,13 +174,18 @@ type Fig5Result struct {
 }
 
 // Fig5 reproduces the suite comparison.
-func (r *Runner) Fig5() (Fig5Result, error) {
+func (r *Runner) Fig5(ctx context.Context) (Fig5Result, error) {
 	var res Fig5Result
 	counts := []int{1, 2, 4}
+	if err := r.prefetch(ctx, hybridmem.NewSweep(r.allApps()...).
+		Collectors(hybridmem.PCMOnly).
+		Instances(counts...).Specs()); err != nil {
+		return res, err
+	}
 	suiteAvg := func(suite workloads.Suite, n int) (writes, rate float64, err error) {
 		var ws, rs []float64
 		for _, app := range r.suiteApps(suite) {
-			run, err := r.emul(app, jvm.PCMOnly, n, 0)
+			run, err := r.emul(ctx, app, hybridmem.PCMOnly, n, 0)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -216,13 +233,17 @@ type Fig6Row struct {
 
 // Fig6 reproduces the write-rate figure: per-application PCM write
 // rates in MB/s against the recommended 140 MB/s line.
-func (r *Runner) Fig6() ([]Fig6Row, float64, error) {
-	kinds := []jvm.Kind{jvm.PCMOnly, jvm.KGN, jvm.KGB, jvm.KGW}
+func (r *Runner) Fig6(ctx context.Context) ([]Fig6Row, float64, error) {
+	kinds := []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGN, hybridmem.KGB, hybridmem.KGW}
+	if err := r.prefetch(ctx, hybridmem.NewSweep(r.allApps()...).
+		Collectors(kinds...).Specs()); err != nil {
+		return nil, 0, err
+	}
 	var rows []Fig6Row
 	for _, app := range r.allApps() {
 		row := Fig6Row{App: app}
 		for i, k := range kinds {
-			run, err := r.emul(app, k, 1, 0)
+			run, err := r.emul(ctx, app, k, 1, 0)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -254,21 +275,25 @@ type Fig7Row struct {
 }
 
 // Fig7Kinds is the collector order of Fig 7.
-var Fig7Kinds = []jvm.Kind{
-	jvm.KGN, jvm.KGB, jvm.KGNLOO, jvm.KGBLOO, jvm.KGW, jvm.KGWNoLOO, jvm.KGWNoMDO,
+var Fig7Kinds = []hybridmem.Collector{
+	hybridmem.KGN, hybridmem.KGB, hybridmem.KGNLOO, hybridmem.KGBLOO,
+	hybridmem.KGW, hybridmem.KGWNoLOO, hybridmem.KGWNoMDO,
 }
 
 // Fig7 reproduces the Kingsguard study on GraphChi.
-func (r *Runner) Fig7() ([]Fig7Row, error) {
+func (r *Runner) Fig7(ctx context.Context) ([]Fig7Row, error) {
+	if err := r.prefetch(ctx, hybridmem.NewSweep("PR", "CC", "ALS").Specs()); err != nil {
+		return nil, err
+	}
 	var rows []Fig7Row
 	for _, app := range []string{"PR", "CC", "ALS"} {
-		base, err := r.emul(app, jvm.PCMOnly, 1, 0)
+		base, err := r.emul(ctx, app, hybridmem.PCMOnly, 1, 0)
 		if err != nil {
 			return nil, err
 		}
 		row := Fig7Row{App: app}
 		for i, k := range Fig7Kinds {
-			run, err := r.emul(app, k, 1, 0)
+			run, err := r.emul(ctx, app, k, 1, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -301,26 +326,34 @@ type Fig8Row struct {
 
 // Fig8 reproduces the dataset-size study over every application with
 // a large input.
-func (r *Runner) Fig8() ([]Fig8Row, error) {
-	kinds := []jvm.Kind{jvm.PCMOnly, jvm.KGN, jvm.KGW}
-	var rows []Fig8Row
+func (r *Runner) Fig8(ctx context.Context) ([]Fig8Row, error) {
+	kinds := []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGN, hybridmem.KGW}
+	factory := hybridmem.ScaledApps(r.p.Scale())
+	var apps []string
 	for _, app := range r.allApps() {
-		probe := r.cfg.factory()(app)
-		if probe == nil || !probe.HasLargeDataset() {
-			continue
+		if probe := factory(app); probe != nil && probe.HasLargeDataset() {
+			apps = append(apps, app)
 		}
+	}
+	if err := r.prefetch(ctx, hybridmem.NewSweep(apps...).
+		Collectors(kinds...).
+		Datasets(hybridmem.Default, hybridmem.Large).Specs()); err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for _, app := range apps {
 		row := Fig8Row{App: app}
 		for i, k := range kinds {
-			def, err := r.emul(app, k, 1, workloads.Default)
+			def, err := r.emul(ctx, app, k, 1, workloads.Default)
 			if err != nil {
 				return nil, err
 			}
-			large, err := r.emul(app, k, 1, workloads.Large)
+			large, err := r.emul(ctx, app, k, 1, workloads.Large)
 			if err != nil {
 				return nil, err
 			}
 			row.RateRatio[i] = stats.Ratio(large.PCMRateMBs(), def.PCMRateMBs())
-			if k == jvm.PCMOnly {
+			if k == hybridmem.PCMOnly {
 				row.WriteRatio = stats.Ratio(float64(large.PCMWriteLines), float64(def.PCMWriteLines))
 			}
 		}

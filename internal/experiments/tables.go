@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
+	hybridmem "repro"
 	"repro/internal/jvm"
 	"repro/internal/lifetime"
 	"repro/internal/objmodel"
@@ -113,30 +114,43 @@ func (r *Runner) tableIIApps() []string {
 // TableII runs the paper's validation: per-benchmark PCM-write
 // reductions of KG-N, KG-B, and KG-W against the PCM-Only reference,
 // measured independently by both pipelines.
-func (r *Runner) TableII() (TableIIResult, error) {
+func (r *Runner) TableII(ctx context.Context) (TableIIResult, error) {
 	apps := r.tableIIApps()
 	res := TableIIResult{Apps: apps}
-	kinds := []jvm.Kind{jvm.KGN, jvm.KGB, jvm.KGW}
+	kinds := []hybridmem.Collector{hybridmem.KGN, hybridmem.KGB, hybridmem.KGW}
+
+	// Warm both pipelines' grids (and their references) in parallel.
+	kindSpecs := hybridmem.NewSweep(apps...).Collectors(kinds...).Specs()
+	refSpecs := hybridmem.NewSweep(apps...).Collectors(hybridmem.PCMOnly).Specs()
+	for _, mode := range []hybridmem.Mode{hybridmem.Simulation, hybridmem.Emulation} {
+		if _, err := r.at(mode).RunBatch(ctx, kindSpecs...); err != nil {
+			return res, err
+		}
+		ref := r.at(mode).With(hybridmem.WithThreadSocket(0))
+		if _, err := ref.RunBatch(ctx, refSpecs...); err != nil {
+			return res, err
+		}
+	}
 
 	type modeAgg struct {
-		reductions map[jvm.Kind][]float64
+		reductions map[hybridmem.Collector][]float64
 		kgbTotal   []float64
 		overhead   []float64
 	}
-	measure := func(mode core.Mode) (modeAgg, error) {
-		agg := modeAgg{reductions: map[jvm.Kind][]float64{}}
+	measure := func(mode hybridmem.Mode) (modeAgg, error) {
+		agg := modeAgg{reductions: map[hybridmem.Collector][]float64{}}
 		for _, app := range apps {
-			base, err := r.reference(mode, app)
+			base, err := r.reference(ctx, mode, app)
 			if err != nil {
 				return agg, err
 			}
-			perKind := map[jvm.Kind]core.Result{}
+			perKind := map[hybridmem.Collector]hybridmem.Result{}
 			for _, k := range kinds {
-				var kg core.Result
-				if mode == core.Emulation {
-					kg, err = r.emul(app, k, 1, 0)
+				var kg hybridmem.Result
+				if mode == hybridmem.Emulation {
+					kg, err = r.emul(ctx, app, k, 1, 0)
 				} else {
-					kg, err = r.sim(app, k)
+					kg, err = r.sim(ctx, app, k)
 				}
 				if err != nil {
 					return agg, err
@@ -146,18 +160,18 @@ func (r *Runner) TableII() (TableIIResult, error) {
 					stats.PercentReduction(float64(base.PCMWriteLines), float64(kg.PCMWriteLines)))
 			}
 			agg.kgbTotal = append(agg.kgbTotal,
-				stats.Ratio(float64(perKind[jvm.KGB].TotalWriteLines()), float64(perKind[jvm.KGN].TotalWriteLines())))
+				stats.Ratio(float64(perKind[hybridmem.KGB].TotalWriteLines()), float64(perKind[hybridmem.KGN].TotalWriteLines())))
 			agg.overhead = append(agg.overhead,
-				100*(stats.Ratio(perKind[jvm.KGW].Seconds, perKind[jvm.KGN].Seconds)-1))
+				100*(stats.Ratio(perKind[hybridmem.KGW].Seconds, perKind[hybridmem.KGN].Seconds)-1))
 		}
 		return agg, nil
 	}
 
-	simAgg, err := measure(core.Simulation)
+	simAgg, err := measure(hybridmem.Simulation)
 	if err != nil {
 		return res, err
 	}
-	emulAgg, err := measure(core.Emulation)
+	emulAgg, err := measure(hybridmem.Emulation)
 	if err != nil {
 		return res, err
 	}
@@ -205,21 +219,26 @@ type TableIIIResult struct {
 // TableIII reproduces the lifetime table: worst-case PCM lifetime in
 // years across the benchmarks, for single-program and four-instance
 // workloads under PCM-Only and KG-W, at the three endurance levels.
-func (r *Runner) TableIII() (TableIIIResult, error) {
+func (r *Runner) TableIII(ctx context.Context) (TableIIIResult, error) {
 	var res TableIIIResult
 	endurances := []float64{
 		lifetime.Prototype1Endurance,
 		lifetime.Prototype2Endurance,
 		lifetime.Prototype3Endurance,
 	}
-	plans := []jvm.Kind{jvm.PCMOnly, jvm.KGW}
+	plans := []hybridmem.Collector{hybridmem.PCMOnly, hybridmem.KGW}
 	instances := []int{1, 4}
+	if err := r.prefetch(ctx, hybridmem.NewSweep(r.allApps()...).
+		Collectors(plans...).
+		Instances(instances...).Specs()); err != nil {
+		return res, err
+	}
 	for ni, n := range instances {
 		for pi, plan := range plans {
 			worstRate := 0.0
 			worstApp := ""
 			for _, app := range r.allApps() {
-				run, err := r.emul(app, plan, n, 0)
+				run, err := r.emul(ctx, app, plan, n, 0)
 				if err != nil {
 					return res, err
 				}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package hybridmem
+
+// raceEnabled is false without the race detector; the full acceptance
+// grids run. See race_test.go.
+const raceEnabled = false

@@ -1,0 +1,566 @@
+package hybridmem
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/jvm"
+	"repro/internal/workloads"
+	"repro/internal/workloads/all"
+	"repro/internal/workloads/graphchi"
+)
+
+// Typed errors returned by the Platform and the name parsers.
+var (
+	// ErrUnknownApp reports a RunSpec.AppName absent from the registry.
+	ErrUnknownApp = errors.New("hybridmem: unknown application")
+	// ErrUnknownCollector reports a collector outside the paper's
+	// eight configurations.
+	ErrUnknownCollector = errors.New("hybridmem: unknown collector")
+	// ErrUnknownScale reports an unparseable scale name.
+	ErrUnknownScale = errors.New("hybridmem: unknown scale")
+	// ErrUnknownDataset reports an unparseable dataset name.
+	ErrUnknownDataset = errors.New("hybridmem: unknown dataset")
+	// ErrUnknownMode reports an unparseable pipeline mode name.
+	ErrUnknownMode = errors.New("hybridmem: unknown mode")
+)
+
+// ParseCollector resolves a collector by its paper name ("PCM-Only",
+// "KG-W", "KG-N+LOO", ...). Matching is case-insensitive and ignores
+// the '-'/'+' punctuation, so "kgw" and "KG-W" are the same plan.
+func ParseCollector(name string) (Collector, error) {
+	want := foldCollectorName(name)
+	for k := Collector(0); k < jvm.NumKinds; k++ {
+		if foldCollectorName(k.String()) == want {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownCollector, name)
+}
+
+// foldCollectorName canonicalizes a collector name for comparison.
+func foldCollectorName(name string) string {
+	name = strings.ToLower(name)
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '-', '+', ' ', '_':
+			return -1
+		}
+		return r
+	}, name)
+}
+
+// ParseScale resolves an experiment scale by name: "quick", "std", or
+// "full".
+func ParseScale(name string) (Scale, error) {
+	switch strings.ToLower(name) {
+	case "quick":
+		return Quick, nil
+	case "std", "standard":
+		return Std, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownScale, name)
+}
+
+// ParseDataset resolves a dataset by name: "default" or "large".
+func ParseDataset(name string) (Dataset, error) {
+	switch strings.ToLower(name) {
+	case "default":
+		return Default, nil
+	case "large":
+		return Large, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+}
+
+// ParseMode resolves an evaluation pipeline by name: "emul"/"emulation"
+// or "sim"/"simulation".
+func ParseMode(name string) (Mode, error) {
+	switch strings.ToLower(name) {
+	case "emul", "emulation":
+		return Emulation, nil
+	case "sim", "simulation":
+		return Simulation, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownMode, name)
+}
+
+// EncodeResult serializes a Result to JSON for downstream tooling.
+// DecodeResult(EncodeResult(r)) reproduces r bit-for-bit.
+func EncodeResult(r Result) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodeResult parses a Result previously produced by EncodeResult.
+func DecodeResult(data []byte) (Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Result{}, fmt.Errorf("hybridmem: decoding result: %w", err)
+	}
+	return r, nil
+}
+
+// config is the resolved option set of a Platform.
+type config struct {
+	mode           Mode
+	seed           uint64
+	scale          Scale
+	l3Bytes        int
+	baseNurseryMB  int
+	observerFactor int
+	threadSocket   int
+	monitorNode    int
+	quantumCycles  float64
+	unmapFreed     bool
+	trackWear      bool
+	bootMB         int
+	bootSet        bool
+	factory        func(string) workloads.App
+	factoryKey     string
+	parallelism    int
+}
+
+// defaultConfig mirrors core.DefaultOptions: emulation pipeline,
+// seed 1, plan-default thread placement, paper-scale inputs.
+func defaultConfig() config {
+	return config{mode: Emulation, seed: 1, scale: Full, threadSocket: -1}
+}
+
+// effectiveBootMB resolves the boot-image size: an explicit WithBootMB
+// wins; otherwise Quick scale shrinks the 48 MB image to 4 MB so
+// hundreds of CI-sized configurations stay cheap.
+func (c config) effectiveBootMB() int {
+	if c.bootSet {
+		return c.bootMB
+	}
+	if c.scale == Quick {
+		return 4
+	}
+	return 0
+}
+
+// Option configures a Platform at construction (New) or derivation
+// (With).
+type Option func(*config)
+
+// WithMode selects the evaluation pipeline (Emulation or Simulation).
+func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithSeed sets the workload seed; equal seeds reproduce every Result
+// bit-for-bit.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithScale sizes every workload's inputs for the scale and installs
+// the matching application factory. Quick also shrinks the boot image
+// to 4 MB unless WithBootMB overrides it.
+func WithScale(s Scale) Option {
+	return func(c *config) {
+		c.scale = s
+		c.factory = scaledFactory(s)
+		c.factoryKey = "scale:" + s.String()
+	}
+}
+
+// factorySeq distinguishes custom factories in the result cache.
+var factorySeq atomic.Uint64
+
+// WithAppFactory installs a custom application factory (nil restores
+// the registry). Every WithAppFactory call keys its results
+// separately — two platforms share cached Results for custom-factory
+// runs only when built from the same Option value — because function
+// identity cannot be established reliably in Go.
+func WithAppFactory(f func(string) App) Option {
+	key := ""
+	if f != nil {
+		key = fmt.Sprintf("factory:%d", factorySeq.Add(1))
+	}
+	return func(c *config) {
+		c.factory = f
+		c.factoryKey = key
+	}
+}
+
+// WithL3MB overrides the shared L3 size in MB (the paper's KG-N
+// sensitivity analysis compares 4 MB vs the platform's 20 MB).
+func WithL3MB(mb int) Option { return func(c *config) { c.l3Bytes = mb << 20 } }
+
+// WithBaseNurseryMB overrides the suite nursery size in MB.
+func WithBaseNurseryMB(mb int) Option { return func(c *config) { c.baseNurseryMB = mb } }
+
+// WithObserverFactor overrides the observer:nursery ratio for KG-W
+// plans (the paper fixes it at 2x).
+func WithObserverFactor(f int) Option { return func(c *config) { c.observerFactor = f } }
+
+// WithThreadSocket forces application-thread placement (-1 restores
+// the plan default). The paper's Table II reference setup pins PCM-Only
+// threads to socket 0.
+func WithThreadSocket(s int) Option { return func(c *config) { c.threadSocket = s } }
+
+// WithMonitorNode places the write-rate monitor (the paper uses socket
+// 0; the ablation tries socket 1).
+func WithMonitorNode(n int) Option { return func(c *config) { c.monitorNode = n } }
+
+// WithQuantumCycles overrides the scheduling timeslice.
+func WithQuantumCycles(q float64) Option { return func(c *config) { c.quantumCycles = q } }
+
+// WithUnmapFreedChunks enables the monolithic-free-list ablation.
+func WithUnmapFreedChunks(on bool) Option { return func(c *config) { c.unmapFreed = on } }
+
+// WithTrackWear enables per-page wear histograms on the devices.
+func WithTrackWear(on bool) Option { return func(c *config) { c.trackWear = on } }
+
+// WithBootMB overrides the boot-image size in MB (0 = the 48 MB
+// default).
+func WithBootMB(mb int) Option {
+	return func(c *config) {
+		c.bootMB = mb
+		c.bootSet = true
+	}
+}
+
+// WithParallelism caps the number of experiments RunBatch executes
+// concurrently (0 = one per available core).
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// Platform is a reusable, concurrent-safe experiment engine: one
+// platform configuration plus a result cache shared with every
+// platform derived from it via With. All methods are safe for
+// concurrent use.
+type Platform struct {
+	cfg   config
+	cache *resultCache
+}
+
+// New constructs a Platform from functional options.
+func New(opts ...Option) *Platform {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Platform{cfg: cfg, cache: newResultCache()}
+}
+
+// With derives a Platform with additional options applied. The
+// derivative shares the parent's result cache — results are keyed by
+// their full effective configuration, so experiment drivers can vary
+// one knob (thread placement, L3 size, observer factor, ...) without
+// re-running shared configurations.
+func (p *Platform) With(opts ...Option) *Platform {
+	cfg := p.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Platform{cfg: cfg, cache: p.cache}
+}
+
+// Scale returns the platform's input scale.
+func (p *Platform) Scale() Scale { return p.cfg.scale }
+
+// Seed returns the platform's workload seed.
+func (p *Platform) Seed() uint64 { return p.cfg.seed }
+
+// coreOptions lowers the platform configuration to the engine's
+// option struct.
+func (p *Platform) coreOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Mode = p.cfg.mode
+	o.Seed = p.cfg.seed
+	o.L3Bytes = p.cfg.l3Bytes
+	o.BaseNurseryMB = p.cfg.baseNurseryMB
+	o.ObserverFactor = p.cfg.observerFactor
+	o.ThreadSocket = p.cfg.threadSocket
+	o.MonitorNode = p.cfg.monitorNode
+	o.QuantumCycles = p.cfg.quantumCycles
+	o.UnmapFreedChunks = p.cfg.unmapFreed
+	o.TrackWear = p.cfg.trackWear
+	o.BootMB = p.cfg.effectiveBootMB()
+	o.AppFactory = p.cfg.factory
+	return o
+}
+
+// normalizeSpec applies RunSpec defaults so equivalent specs share one
+// cache entry.
+func normalizeSpec(spec RunSpec) RunSpec {
+	if spec.Instances <= 0 {
+		spec.Instances = 1
+	}
+	if spec.Native {
+		spec.Collector = 0 // ignored by native runs
+	}
+	return spec
+}
+
+// validateSpec type-checks a spec before it reaches the engine.
+func (p *Platform) validateSpec(spec RunSpec) error {
+	if !spec.Native && (spec.Collector < 0 || spec.Collector >= jvm.NumKinds) {
+		return fmt.Errorf("%w: Kind(%d)", ErrUnknownCollector, int(spec.Collector))
+	}
+	factory := p.cfg.factory
+	if factory == nil {
+		factory = all.New
+	}
+	if factory(spec.AppName) == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownApp, spec.AppName)
+	}
+	return nil
+}
+
+// cacheKey identifies one experiment: the full effective configuration
+// plus the spec. Two runs with equal keys produce bit-identical
+// Results, so one cached Result serves both.
+type cacheKey struct {
+	mode           Mode
+	seed           uint64
+	l3Bytes        int
+	baseNurseryMB  int
+	observerFactor int
+	threadSocket   int
+	monitorNode    int
+	quantumCycles  float64
+	unmapFreed     bool
+	trackWear      bool
+	bootMB         int
+	factoryKey     string
+	app            string
+	collector      Collector
+	instances      int
+	dataset        Dataset
+	native         bool
+}
+
+// key builds the canonical cache key for a normalized spec.
+func (p *Platform) key(spec RunSpec) cacheKey {
+	return cacheKey{
+		mode:           p.cfg.mode,
+		seed:           p.cfg.seed,
+		l3Bytes:        p.cfg.l3Bytes,
+		baseNurseryMB:  p.cfg.baseNurseryMB,
+		observerFactor: p.cfg.observerFactor,
+		threadSocket:   p.cfg.threadSocket,
+		monitorNode:    p.cfg.monitorNode,
+		quantumCycles:  p.cfg.quantumCycles,
+		unmapFreed:     p.cfg.unmapFreed,
+		trackWear:      p.cfg.trackWear,
+		bootMB:         p.cfg.effectiveBootMB(),
+		factoryKey:     p.cfg.factoryKey,
+		app:            spec.AppName,
+		collector:      spec.Collector,
+		instances:      spec.Instances,
+		dataset:        spec.Dataset,
+		native:         spec.Native,
+	}
+}
+
+// cacheEntry is one in-flight or completed run. done is closed once
+// res/err are final.
+type cacheEntry struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// resultCache memoizes completed runs and deduplicates concurrent
+// identical runs (single-flight): the first caller computes, everyone
+// else waits on the entry.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// CacheStats reports the shared result cache's behaviour. Hits count
+// calls served from a completed or in-flight entry; Entries counts
+// entries currently held — memoized successful results plus any runs
+// still in flight (failed runs are dropped on completion).
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// CacheStats returns a snapshot of the platform's shared result cache.
+func (p *Platform) CacheStats() CacheStats {
+	p.cache.mu.Lock()
+	defer p.cache.mu.Unlock()
+	return CacheStats{Hits: p.cache.hits, Misses: p.cache.misses, Entries: len(p.cache.entries)}
+}
+
+// Run executes one experiment, serving it from the shared cache when
+// an identical configuration has already run (or is running). It
+// returns ctx.Err if the context is cancelled before the result is
+// available.
+func (p *Platform) Run(ctx context.Context, spec RunSpec) (Result, error) {
+	spec = normalizeSpec(spec)
+	if err := p.validateSpec(spec); err != nil {
+		return Result{}, err
+	}
+	// Bail before registering: entries must only ever complete with a
+	// genuine run outcome, never one caller's cancellation — waiters
+	// with live contexts share them.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	key := p.key(spec)
+
+	c := p.cache
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	finished := false
+	defer func() {
+		// The engine panics on platform-construction failures; if one
+		// unwinds through here, unregister the entry and release the
+		// waiters before propagating, or they would block forever.
+		if !finished {
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+			e.err = fmt.Errorf("hybridmem: %s: run panicked", specLabel(spec))
+			close(e.done)
+		}
+	}()
+	e.res, e.err = core.Run(p.coreOptions(), spec)
+	finished = true
+	if e.err != nil {
+		// Failed runs are not memoized; a later call retries. The spec
+		// label identifies the failing experiment inside wide batches.
+		e.err = fmt.Errorf("hybridmem: %s: %w", specLabel(spec), e.err)
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.res, e.err
+}
+
+// specLabel names one experiment for error messages.
+func specLabel(spec RunSpec) string {
+	lang := spec.Collector.String()
+	if spec.Native {
+		lang = "native"
+	}
+	return fmt.Sprintf("%s/%s x%d (%s)", spec.AppName, lang, spec.Instances, spec.Dataset)
+}
+
+// RunBatch executes independent experiments across a worker pool — one
+// worker per available core by default, capped by WithParallelism —
+// and returns their Results in spec order. Results are bit-identical
+// to running the same specs serially with Run: every run is
+// deterministic in (configuration, spec, seed) alone.
+//
+// The first failure cancels the remaining work and is returned;
+// cancelling ctx stops the batch promptly (queued specs are skipped,
+// in-flight runs complete).
+func (p *Platform) RunBatch(ctx context.Context, specs ...RunSpec) ([]Result, error) {
+	results := make([]Result, len(specs))
+	if len(specs) == 0 {
+		return results, nil
+	}
+	workers := p.cfg.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queue := make(chan int, len(specs))
+	for i := range specs {
+		queue <- i
+	}
+	close(queue)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					continue // drain without running
+				}
+				res, err := p.Run(ctx, specs[i])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// scaledFactory builds the application factory for a scale: GraphChi
+// datasets sized to keep (Quick) or exceed (Std/Full) the shared LLC,
+// and DaCapo/pjbb allocation volumes shrunk at Quick scale.
+func scaledFactory(s Scale) func(string) workloads.App {
+	edges := s.graphEdges()
+	largeFactor := s.graphLargeFactor()
+	alloc := s.allocScale()
+	return func(name string) workloads.App {
+		switch name {
+		case "PR":
+			return graphchi.NewWithEdgesAndLarge(graphchi.PR, edges, largeFactor)
+		case "CC":
+			return graphchi.NewWithEdgesAndLarge(graphchi.CC, edges, largeFactor)
+		case "ALS":
+			return graphchi.NewWithEdgesAndLarge(graphchi.ALS, edges, largeFactor)
+		}
+		app := all.New(name)
+		if app == nil {
+			return nil
+		}
+		if pa, ok := app.(*workloads.ProfileApp); ok && alloc != 1 {
+			prof := pa.P
+			prof.AllocMB = int(float64(prof.AllocMB) * alloc)
+			if prof.AllocMB < 2 {
+				prof.AllocMB = 2
+			}
+			return workloads.NewProfileApp(prof)
+		}
+		return app
+	}
+}

@@ -1,0 +1,287 @@
+package hybridmem
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sweepSpecs is the acceptance grid: 3 apps x all 8 collectors
+// (3 apps x 3 collectors under the race detector, where each run
+// costs ~10x more).
+func sweepSpecs() []RunSpec {
+	sweep := NewSweep("lusearch", "xalan", "pmd")
+	if raceEnabled {
+		sweep.Collectors(PCMOnly, KGN, KGW)
+	} else {
+		sweep.Collectors(Collectors()...)
+	}
+	return sweep.Specs()
+}
+
+func TestParseCollector(t *testing.T) {
+	for _, k := range Collectors() {
+		got, err := ParseCollector(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseCollector(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	// Case- and punctuation-insensitive.
+	for name, want := range map[string]Collector{
+		"kgw":      KGW,
+		"kg-n+loo": KGNLOO,
+		"KGNLOO":   KGNLOO,
+		"pcmonly":  PCMOnly,
+		"KG_B":     KGB,
+	} {
+		if got, err := ParseCollector(name); err != nil || got != want {
+			t.Errorf("ParseCollector(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseCollector("zgc"); !errors.Is(err, ErrUnknownCollector) {
+		t.Errorf("ParseCollector(zgc) err = %v, want ErrUnknownCollector", err)
+	}
+}
+
+func TestParseScaleDatasetMode(t *testing.T) {
+	for name, want := range map[string]Scale{"quick": Quick, "Std": Std, "FULL": Full} {
+		if got, err := ParseScale(name); err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); !errors.Is(err, ErrUnknownScale) {
+		t.Errorf("ParseScale(huge) err = %v", err)
+	}
+	if ds, err := ParseDataset("large"); err != nil || ds != Large {
+		t.Errorf("ParseDataset(large) = %v, %v", ds, err)
+	}
+	if _, err := ParseDataset("huge"); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("ParseDataset(huge) err = %v", err)
+	}
+	for name, want := range map[string]Mode{"emul": Emulation, "sim": Simulation, "Simulation": Simulation} {
+		if got, err := ParseMode(name); err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMode("fpga"); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("ParseMode(fpga) err = %v", err)
+	}
+}
+
+func TestRunTypedErrors(t *testing.T) {
+	p := New(WithScale(Quick))
+	ctx := context.Background()
+	if _, err := p.Run(ctx, RunSpec{AppName: "nonsense", Collector: KGW}); !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("unknown app err = %v, want ErrUnknownApp", err)
+	}
+	if _, err := p.Run(ctx, RunSpec{AppName: "pmd", Collector: Collector(99)}); !errors.Is(err, ErrUnknownCollector) {
+		t.Errorf("bad collector err = %v, want ErrUnknownCollector", err)
+	}
+	if st := p.CacheStats(); st.Entries != 0 {
+		t.Errorf("failed runs must not be cached: %+v", st)
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	p := New(WithScale(Quick))
+	res, err := p.Run(context.Background(), RunSpec{AppName: "pmd", Collector: KGW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Errorf("JSON round trip changed the result:\n got %+v\nwant %+v", back, res)
+	}
+	if _, err := DecodeResult([]byte("{")); err == nil {
+		t.Error("DecodeResult must reject malformed JSON")
+	}
+}
+
+func TestSweepSpecs(t *testing.T) {
+	specs := NewSweep("lusearch", "pmd").
+		Collectors(PCMOnly, KGW).
+		Instances(1, 4).
+		Datasets(Default, Large).Specs()
+	if len(specs) != 2*2*2*2 {
+		t.Fatalf("sweep size = %d, want 16", len(specs))
+	}
+	// App-major, fixed order.
+	if specs[0].AppName != "lusearch" || specs[0].Collector != PCMOnly ||
+		specs[0].Instances != 1 || specs[0].Dataset != Default {
+		t.Errorf("first spec = %+v", specs[0])
+	}
+	last := specs[len(specs)-1]
+	if last.AppName != "pmd" || last.Collector != KGW || last.Instances != 4 || last.Dataset != Large {
+		t.Errorf("last spec = %+v", last)
+	}
+
+	// Defaults: full registry x all collectors x 1 instance.
+	if n := len(NewSweep().Specs()); n != 15*8 {
+		t.Errorf("default sweep size = %d, want 120", n)
+	}
+	// Native collapses the collector dimension.
+	native := NewSweep("PR", "CC").Native().Specs()
+	if len(native) != 2 || !native[0].Native {
+		t.Errorf("native sweep = %+v", native)
+	}
+}
+
+// TestRunBatchMatchesSerial is the acceptance determinism check: a
+// parallel batch over 3 apps x 8 collectors must produce bit-identical
+// Results to the same specs run serially with equal seeds.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	specs := sweepSpecs()
+	ctx := context.Background()
+
+	serial := New(WithScale(Quick), WithSeed(7))
+	want := make([]Result, len(specs))
+	for i, s := range specs {
+		res, err := serial.Run(ctx, s)
+		if err != nil {
+			t.Fatalf("serial %v: %v", s, err)
+		}
+		want[i] = res
+	}
+
+	parallel := New(WithScale(Quick), WithSeed(7))
+	got, err := parallel.RunBatch(ctx, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("spec %d (%s/%s): parallel result differs from serial",
+				i, specs[i].AppName, specs[i].Collector)
+		}
+	}
+}
+
+func TestRunBatchCacheHits(t *testing.T) {
+	specs := sweepSpecs()
+	p := New(WithScale(Quick))
+	ctx := context.Background()
+	first, err := p.RunBatch(ctx, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := p.RunBatch(ctx, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Error("cached batch results differ from the originals")
+	}
+	st := p.CacheStats()
+	if st.Entries != len(specs) {
+		t.Errorf("entries = %d, want %d", st.Entries, len(specs))
+	}
+	if st.Misses != uint64(len(specs)) || st.Hits < uint64(len(specs)) {
+		t.Errorf("cache stats = %+v, want %d misses and >= %d hits", st, len(specs), len(specs))
+	}
+}
+
+// TestRunConcurrentSingleFlight checks that concurrent identical Run
+// calls share one execution.
+func TestRunConcurrentSingleFlight(t *testing.T) {
+	p := New(WithScale(Quick))
+	spec := RunSpec{AppName: "pmd", Collector: KGW}
+	ctx := context.Background()
+	const callers = 8
+	results := make([]Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = p.Run(ctx, spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("caller %d saw a different result", i)
+		}
+	}
+	if st := p.CacheStats(); st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v, want a single execution", st)
+	}
+}
+
+func TestRunBatchCancellation(t *testing.T) {
+	p := New(WithScale(Quick), WithParallelism(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts
+	start := time.Now()
+	_, err := p.RunBatch(ctx, NewSweep(Apps()...).Specs()...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 120 specs at ~100ms each would take ~6s on 2 workers; a prompt
+	// cancellation returns orders of magnitude faster.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled batch took %v", d)
+	}
+	if st := p.CacheStats(); st.Entries != 0 {
+		t.Errorf("cancelled batch must not populate the cache: %+v", st)
+	}
+}
+
+// TestRunBatchSpeedup is the acceptance wall-clock check: on >= 4
+// cores the 3x8 sweep through RunBatch must be at least 2x faster than
+// the same specs run serially. Fresh platforms on both sides keep the
+// comparison cache-free.
+func TestRunBatchSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing comparison skipped under the race detector")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 cores, have %d", runtime.NumCPU())
+	}
+	specs := sweepSpecs()
+	ctx := context.Background()
+
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		serial := New(WithScale(Quick), WithParallelism(1))
+		t0 := time.Now()
+		if _, err := serial.RunBatch(ctx, specs...); err != nil {
+			t.Fatal(err)
+		}
+		serialD := time.Since(t0)
+
+		parallel := New(WithScale(Quick))
+		t0 = time.Now()
+		if _, err := parallel.RunBatch(ctx, specs...); err != nil {
+			t.Fatal(err)
+		}
+		parallelD := time.Since(t0)
+
+		speedup := serialD.Seconds() / parallelD.Seconds()
+		if speedup > best {
+			best = speedup
+		}
+		t.Logf("attempt %d: serial %v, parallel %v, speedup %.2fx", attempt, serialD, parallelD, speedup)
+		if best >= 2 {
+			return
+		}
+	}
+	t.Errorf("RunBatch speedup = %.2fx, want >= 2x on %d cores", best, runtime.NumCPU())
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package hybridmem
+
+// raceEnabled shrinks the acceptance grids when the race detector is
+// on: each platform run costs ~10x more, and the full 3x8 sweep pushes
+// the package past go test's timeout on small machines. The reduced
+// grid still exercises the worker pool, the cache, and determinism.
+const raceEnabled = true

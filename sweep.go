@@ -1,0 +1,98 @@
+package hybridmem
+
+import "context"
+
+// Sweep declaratively enumerates an experiment grid — apps ×
+// collectors × instance counts × datasets — in a deterministic order
+// (the paper's evaluation is exactly such grids: Figs 4–8 and Tables
+// II–III sweep the benchmarks across collectors and multiprogramming
+// degrees). A zero dimension takes its default: all eight collectors,
+// one instance, the default dataset.
+type Sweep struct {
+	apps       []string
+	collectors []Collector
+	instances  []int
+	datasets   []Dataset
+	native     bool
+}
+
+// NewSweep starts a sweep over the named applications. With no names
+// it covers the full 15-benchmark registry.
+func NewSweep(apps ...string) *Sweep {
+	return &Sweep{apps: apps}
+}
+
+// Collectors restricts the sweep to the given collector plans
+// (default: all eight configurations in the paper's order).
+func (s *Sweep) Collectors(cs ...Collector) *Sweep {
+	s.collectors = cs
+	return s
+}
+
+// Instances sets the multiprogramming degrees to sweep (default: 1).
+func (s *Sweep) Instances(ns ...int) *Sweep {
+	s.instances = ns
+	return s
+}
+
+// Datasets sets the input datasets to sweep (default: Default).
+func (s *Sweep) Datasets(ds ...Dataset) *Sweep {
+	s.datasets = ds
+	return s
+}
+
+// Native switches the sweep to the C++ implementations on the malloc
+// runtime; the collector dimension collapses (native runs have no
+// garbage collector).
+func (s *Sweep) Native() *Sweep {
+	s.native = true
+	return s
+}
+
+// Specs expands the grid into RunSpecs, ordered app-major then
+// collector, instances, dataset — a fixed order, so Specs()[i] lines
+// up with the i-th Result of RunSweep and RunBatch.
+func (s *Sweep) Specs() []RunSpec {
+	apps := s.apps
+	if len(apps) == 0 {
+		apps = Apps()
+	}
+	collectors := s.collectors
+	if s.native {
+		collectors = []Collector{0}
+	} else if len(collectors) == 0 {
+		collectors = Collectors()
+	}
+	instances := s.instances
+	if len(instances) == 0 {
+		instances = []int{1}
+	}
+	datasets := s.datasets
+	if len(datasets) == 0 {
+		datasets = []Dataset{Default}
+	}
+
+	specs := make([]RunSpec, 0, len(apps)*len(collectors)*len(instances)*len(datasets))
+	for _, app := range apps {
+		for _, c := range collectors {
+			for _, n := range instances {
+				for _, d := range datasets {
+					specs = append(specs, RunSpec{
+						AppName:   app,
+						Collector: c,
+						Instances: n,
+						Dataset:   d,
+						Native:    s.native,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// RunSweep executes the sweep through the platform's worker pool and
+// returns Results aligned with sweep.Specs().
+func (p *Platform) RunSweep(ctx context.Context, sweep *Sweep) ([]Result, error) {
+	return p.RunBatch(ctx, sweep.Specs()...)
+}
