@@ -6,10 +6,16 @@
 //
 //	hybridemu -app lusearch -gc KG-W [-instances 4] [-dataset large]
 //	          [-mode emul|sim] [-native] [-l3mb 20] [-scale quick|std|full]
+//	          [-store DIR]
+//
+// Bad flag values exit with status 2 and the platform's typed-error
+// message (unknown application, unknown collector, ...); run failures
+// exit with status 1.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +34,12 @@ func main() {
 	l3mb := flag.Int("l3mb", 0, "override the shared L3 size in MB")
 	scale := flag.String("scale", "std", "input scale: quick, std, or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	storeDir := flag.String("store", "", "durable result store directory: identical reruns replay from disk")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
+	// Bad flag values exit 2 with the platform's typed-error message;
+	// nothing below panics or dumps usage on user input.
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "hybridemu: %v\n", err)
 		os.Exit(2)
@@ -60,6 +69,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *instances < 1 {
+		fail(fmt.Errorf("-instances must be at least 1, got %d", *instances))
+	}
 
 	opts := []hybridmem.Option{
 		hybridmem.WithScale(sc),
@@ -69,18 +81,32 @@ func main() {
 	if *l3mb > 0 {
 		opts = append(opts, hybridmem.WithL3MB(*l3mb))
 	}
+	if *storeDir != "" {
+		opts = append(opts, hybridmem.WithStore(*storeDir))
+	}
 	p := hybridmem.New(opts...)
 
-	res, err := p.Run(context.Background(), hybridmem.RunSpec{
+	spec := hybridmem.RunSpec{
 		AppName:   *app,
 		Collector: kind,
 		Instances: *instances,
 		Dataset:   ds,
 		Native:    *native,
-	})
+	}
+	if err := p.Validate(spec); err != nil {
+		fail(fmt.Errorf("%w (see -list)", err))
+	}
+
+	res, err := p.Run(context.Background(), spec)
 	if err != nil {
+		// Typed spec errors are the caller's fault (exit 2); everything
+		// else is a platform failure (exit 1).
+		code := 1
+		if errors.Is(err, hybridmem.ErrUnknownApp) || errors.Is(err, hybridmem.ErrUnknownCollector) {
+			code = 2
+		}
 		fmt.Fprintf(os.Stderr, "hybridemu: %v\n", err)
-		os.Exit(1)
+		os.Exit(code)
 	}
 
 	lang := "Java"

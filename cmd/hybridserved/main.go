@@ -1,0 +1,90 @@
+// Command hybridserved serves the emulation platform over HTTP: many
+// clients share one Platform, identical concurrent requests coalesce
+// into one compute, and (with -store) every result is durable across
+// restarts, so the service warm-starts with the whole grid it has ever
+// computed.
+//
+// Usage:
+//
+//	hybridserved [-addr :8080] [-store DIR] [-scale quick|std|full]
+//	             [-seed N] [-max-inflight N] [-drain 30s]
+//
+// Endpoints: POST /v1/run, POST /v1/sweep (streams ndjson),
+// GET /v1/results, GET /healthz, GET /metrics. SIGTERM (or Ctrl-C)
+// drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	hybridmem "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "durable result store directory (empty = memory-only)")
+	scale := flag.String("scale", "std", "input scale: quick, std, or full")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent platform runs (0 = one per core)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "hybridserved: %v\n", err)
+		os.Exit(2)
+	}
+
+	sc, err := hybridmem.ParseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	opts := []hybridmem.Option{hybridmem.WithScale(sc), hybridmem.WithSeed(*seed)}
+	if *storeDir != "" {
+		opts = append(opts, hybridmem.WithStore(*storeDir))
+	}
+	p := hybridmem.New(opts...)
+
+	srv, err := serve.New(p, serve.Config{MaxInFlight: *maxInflight})
+	if err != nil {
+		fail(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("hybridserved: listening on %s (scale=%s, seed=%d, store=%q)\n",
+			*addr, sc, *seed, *storeDir)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, let in-flight requests finish, then make
+	// sure everything computed so far is on stable storage.
+	fmt.Println("hybridserved: draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "hybridserved: shutdown: %v\n", err)
+	}
+	if st, err := p.Store(); err == nil && st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hybridserved: closing store: %v\n", err)
+		}
+	}
+	fmt.Println("hybridserved: bye")
+}

@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "concurrent platform runs (0 = one per core)")
 	only := flag.String("only", "", "comma-separated subset (tableI,tableII,tableIII,fig3,fig4,fig5,fig6,fig7,fig8,ablations)")
+	storeDir := flag.String("store", "", "durable result store directory: reruns and -only subsets replay finished runs from disk instead of recomputing")
 	flag.Parse()
 
 	sc, err := hybridmem.ParseScale(*scale)
@@ -50,7 +51,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Parallelism: *parallel})
+	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Parallelism: *parallel, StoreDir: *storeDir})
 	fmt.Printf("# Paper evaluation regeneration (scale=%s, seed=%d)\n\n", sc, *seed)
 	start := time.Now()
 	step := func(name string, f func() (string, error)) {
@@ -157,5 +158,16 @@ func main() {
 		b.WriteString(fl.Render())
 		return b.String(), nil
 	})
-	fmt.Printf("# total: %s\n", time.Since(start).Round(time.Second))
+	cs := r.CacheStats()
+	fmt.Printf("# total: %s (%d computed, %d replayed from memory, %d from store)\n",
+		time.Since(start).Round(time.Second), computed(cs), cs.Hits, cs.DiskHits)
+}
+
+// computed counts genuine platform computes: without a store every
+// memory miss computes; with one, only the disk misses do.
+func computed(cs hybridmem.CacheStats) uint64 {
+	if cs.DiskHits+cs.DiskMisses > 0 {
+		return cs.DiskMisses
+	}
+	return cs.Misses
 }

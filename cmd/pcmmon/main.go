@@ -6,6 +6,7 @@
 // Usage:
 //
 //	pcmmon -app xalan -gc PCM-Only [-period 10ms-in-seconds]
+//	       [-scale quick|std|full]
 package main
 
 import (
@@ -26,17 +27,24 @@ func main() {
 	gcName := flag.String("gc", "PCM-Only", "collector configuration")
 	period := flag.Float64("period", 0.01, "sampling period in simulated seconds")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	scale := flag.String("scale", "std", "input scale: quick, std, or full")
 	flag.Parse()
 
-	kind, err := hybridmem.ParseCollector(*gcName)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pcmmon: %v\n", err)
 		os.Exit(2)
 	}
-	app := hybridmem.ScaledApps(hybridmem.Std)(*appName)
+	kind, err := hybridmem.ParseCollector(*gcName)
+	if err != nil {
+		fail(err)
+	}
+	sc, err := hybridmem.ParseScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	app := hybridmem.ScaledApps(sc)(*appName)
 	if app == nil {
-		fmt.Fprintf(os.Stderr, "pcmmon: unknown app %q\n", *appName)
-		os.Exit(2)
+		fail(fmt.Errorf("%w: %q", hybridmem.ErrUnknownApp, *appName))
 	}
 
 	m := machine.New(machine.DefaultConfig())

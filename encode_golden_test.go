@@ -1,0 +1,90 @@
+package hybridmem
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/jvm"
+	"repro/internal/machine"
+	"repro/internal/native"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenResult populates every Result field so any schema change —
+// a renamed, added, or removed field — shows up in the diff.
+func goldenResult() Result {
+	return Result{
+		DRAMWriteLines:     111,
+		PCMWriteLines:      222,
+		DRAMReadLines:      333,
+		PCMReadLines:       444,
+		Seconds:            1.25,
+		PerInstanceSeconds: []float64{1.25, 1.125},
+		RuntimeStats: []jvm.Stats{{
+			MinorGCs: 3, ObserverGCs: 2, FullGCs: 1,
+			AllocObjects: 1000, AllocBytes: 1 << 20, LargeAllocBytes: 1 << 10,
+			NurserySlowPath: 5, SurvivorBytes: 2048, ObserverOutBytes: 1024,
+			ToMatureDRAMBytes: 512, ToMaturePCMBytes: 256, LargeRelocBytes: 128,
+			BarrierStores: 64, RemsetEntries: 32, MutatorWrites: 16, MutatorReads: 8,
+		}},
+		NativeStats: []native.Stats{{
+			Mallocs: 9, Frees: 8, AllocBytes: 7, LiveBytes: 6, PeakBytes: 5, WildernessB: 4,
+		}},
+		AllocBytes:        []uint64{1 << 20, 1 << 19},
+		PeakResidentBytes: []uint64{1 << 22, 1 << 21},
+		ZeroedPages:       55,
+		QPI:               machine.QPIStats{ReadLines: 66, WriteLines: 77},
+		FreeListMaps:      88,
+		FreeListRecycles:  99,
+	}
+}
+
+// TestEncodeResultGolden freezes the Result JSON schema that the store
+// segments persist and the hybridserved API serves. A failure here
+// means the wire/disk format changed: make the change deliberately,
+// regenerate with `go test -run TestEncodeResultGolden -update`, and
+// flag it in review.
+func TestEncodeResultGolden(t *testing.T) {
+	res := goldenResult()
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, data, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	pretty.WriteByte('\n')
+
+	golden := filepath.Join("testdata", "result_v1.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, pretty.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pretty.Bytes(), want) {
+		t.Errorf("Result JSON schema drifted from %s\n got:\n%s\nwant:\n%s", golden, pretty.Bytes(), want)
+	}
+
+	// The frozen bytes must keep decoding to the same Result.
+	back, err := DecodeResult(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, res) {
+		t.Error("golden file no longer decodes to the original Result")
+	}
+}

@@ -47,9 +47,20 @@
 //
 //	ref, err := p.With(hybridmem.WithThreadSocket(0)).Run(ctx, spec)
 //
+// The in-memory cache dies with the process; WithStore adds a durable
+// second tier — an append-only, content-addressed store of Results
+// keyed by SpecKey — so lookups fall through memory → disk → compute
+// and a restarted process replays finished grids from disk instead of
+// recomputing them:
+//
+//	p := hybridmem.New(hybridmem.WithScale(hybridmem.Std),
+//		hybridmem.WithStore("results.d"))
+//
 // The experiment drivers that regenerate every table and figure of the
 // paper live in internal/experiments and are exposed through the
-// benchmarks in bench_test.go and the cmd/paperfigs command.
+// benchmarks in bench_test.go and the cmd/paperfigs command
+// (incrementally, with -store). cmd/hybridserved serves the whole
+// engine over HTTP so many clients share one platform and its store.
 package hybridmem
 
 import (

@@ -41,6 +41,10 @@ type Config struct {
 	Seed  uint64
 	// Parallelism caps RunBatch workers (0 = one per core).
 	Parallelism int
+	// StoreDir attaches a durable result store (hybridmem.WithStore):
+	// regenerating the same figures twice recomputes nothing, and an
+	// interrupted regeneration resumes where it stopped.
+	StoreDir string
 }
 
 // dacapoApps returns the DaCapo names an experiment iterates: a
@@ -68,15 +72,20 @@ type Runner struct {
 
 // NewRunner returns a runner for the configuration.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{
-		cfg: cfg,
-		p: hybridmem.New(
-			hybridmem.WithScale(cfg.Scale),
-			hybridmem.WithSeed(cfg.Seed+1),
-			hybridmem.WithParallelism(cfg.Parallelism),
-		),
+	opts := []hybridmem.Option{
+		hybridmem.WithScale(cfg.Scale),
+		hybridmem.WithSeed(cfg.Seed + 1),
+		hybridmem.WithParallelism(cfg.Parallelism),
 	}
+	if cfg.StoreDir != "" {
+		opts = append(opts, hybridmem.WithStore(cfg.StoreDir))
+	}
+	return &Runner{cfg: cfg, p: hybridmem.New(opts...)}
 }
+
+// CacheStats reports the shared platform cache behind all drivers —
+// how much of a regeneration was computed vs replayed.
+func (r *Runner) CacheStats() hybridmem.CacheStats { return r.p.CacheStats() }
 
 // at returns the platform for a pipeline mode.
 func (r *Runner) at(mode hybridmem.Mode) *hybridmem.Platform {

@@ -1,0 +1,459 @@
+// Package serve implements the hybridserved HTTP service: a network
+// front-end that lets many clients share one emulation Platform (and
+// its durable result store). Identical concurrent requests coalesce
+// into one platform compute through the Platform's single-flight
+// cache; total in-flight platform work is bounded by a semaphore so a
+// burst of clients cannot oversubscribe the host.
+//
+// Endpoints:
+//
+//	POST /v1/run     one experiment; responds with a store.Record
+//	POST /v1/sweep   a grid; streams one JSON line per completed run
+//	GET  /v1/results durable-store listing with spec filters
+//	GET  /healthz    liveness
+//	GET  /metrics    cache + store counters (Prometheus text format)
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	hybridmem "repro"
+	"repro/internal/store"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxInFlight bounds concurrent platform runs across all requests
+	// (0 = one per host core). Requests past the bound queue on the
+	// semaphore and respect their context's cancellation.
+	MaxInFlight int
+}
+
+// Server routes the hybridserved API onto one shared Platform. It is
+// an http.Handler; all endpoints are safe for concurrent use.
+type Server struct {
+	p        *hybridmem.Platform
+	sem      chan struct{}
+	mux      *http.ServeMux
+	inflight atomic.Int64
+	requests atomic.Uint64
+}
+
+// New builds a Server on the platform. The platform's durable store
+// (if configured) is opened eagerly so a bad -store directory fails at
+// startup, not on the first request.
+func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
+	if _, err := p.Store(); err != nil {
+		return nil, err
+	}
+	n := cfg.MaxInFlight
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{p: p, sem: make(chan struct{}, n), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/results", s.handleResults)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// RunRequest selects one experiment by its public names, as parsed by
+// the hybridmem.Parse* functions. Zero values take the platform
+// defaults (collector PCM-Only, 1 instance, default dataset, the
+// platform's mode).
+type RunRequest struct {
+	App       string `json:"app"`
+	Collector string `json:"collector,omitempty"`
+	Instances int    `json:"instances,omitempty"`
+	Dataset   string `json:"dataset,omitempty"`
+	Mode      string `json:"mode,omitempty"`
+	Native    bool   `json:"native,omitempty"`
+}
+
+// errBadRequest marks client mistakes beyond the hybridmem typed
+// errors (e.g. a negative instance count).
+var errBadRequest = errors.New("bad request")
+
+// resolve parses a request into a spec and the platform variant to
+// run it on.
+func (s *Server) resolve(req RunRequest) (hybridmem.RunSpec, *hybridmem.Platform, error) {
+	spec := hybridmem.RunSpec{AppName: req.App, Instances: req.Instances, Native: req.Native}
+	if spec.Instances < 0 {
+		// Reject rather than silently coercing: zero means "default to
+		// one instance", a negative count is a client bug.
+		return spec, nil, fmt.Errorf("%w: instances must be >= 0, got %d", errBadRequest, spec.Instances)
+	}
+	if req.Collector != "" {
+		k, err := hybridmem.ParseCollector(req.Collector)
+		if err != nil {
+			return spec, nil, err
+		}
+		spec.Collector = k
+	}
+	if req.Dataset != "" {
+		d, err := hybridmem.ParseDataset(req.Dataset)
+		if err != nil {
+			return spec, nil, err
+		}
+		spec.Dataset = d
+	}
+	p := s.p
+	if req.Mode != "" {
+		m, err := hybridmem.ParseMode(req.Mode)
+		if err != nil {
+			return spec, nil, err
+		}
+		p = p.With(hybridmem.WithMode(m))
+	}
+	// Normalize so the Record echoed over HTTP equals the Record the
+	// store persists, and validate against the platform's own factory
+	// (which may know apps the global registry does not).
+	spec = hybridmem.NormalizeSpec(spec)
+	if err := p.Validate(spec); err != nil {
+		return spec, nil, err
+	}
+	return spec, p, nil
+}
+
+// httpStatus maps an error to its response code: unparsable or unknown
+// names are the client's fault, everything else the platform's.
+func httpStatus(err error) int {
+	for _, bad := range []error{
+		hybridmem.ErrUnknownApp, hybridmem.ErrUnknownCollector,
+		hybridmem.ErrUnknownDataset, hybridmem.ErrUnknownMode, hybridmem.ErrUnknownScale,
+		errBadRequest,
+	} {
+		if errors.Is(err, bad) {
+			return http.StatusBadRequest
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// fail writes a JSON error response.
+func fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// record packages a finished run as the wire/disk Record.
+func record(p *hybridmem.Platform, spec hybridmem.RunSpec, res hybridmem.Result) (store.Record, error) {
+	key := p.SpecKey(spec)
+	sum, err := store.Sum(key, spec, res)
+	if err != nil {
+		return store.Record{}, err
+	}
+	return store.Record{Key: key, Sum: sum, Spec: spec, Result: res}, nil
+}
+
+// run executes one spec. Already-available results (memory or store)
+// are served immediately, and duplicates of an in-flight run join its
+// single-flight entry; only work that may actually start a compute
+// takes a semaphore slot, so neither a burst of cached reads nor N
+// copies of one request queue out unrelated work.
+func (s *Server) run(r *http.Request, p *hybridmem.Platform, spec hybridmem.RunSpec) (store.Record, error) {
+	if res, ok := p.Peek(spec); ok {
+		return record(p, spec, res)
+	}
+	if p.Joinable(spec) {
+		// The compute's slot is held by the request that started it.
+		res, err := p.Run(r.Context(), spec)
+		if err != nil {
+			return store.Record{}, err
+		}
+		return record(p, spec, res)
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		return store.Record{}, r.Context().Err()
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+	res, err := p.Run(r.Context(), spec)
+	if err != nil {
+		return store.Record{}, err
+	}
+	return record(p, spec, res)
+}
+
+// handleRun serves POST /v1/run: one experiment, responded to as the
+// same Record schema the store segments persist.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	spec, p, err := s.resolve(req)
+	if err != nil {
+		fail(w, httpStatus(err), err)
+		return
+	}
+	rec, err := s.run(r, p, spec)
+	if err != nil {
+		fail(w, httpStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rec)
+}
+
+// SweepRequest enumerates a grid by its public names. Empty dimensions
+// take the Sweep defaults (the full registry, all eight collectors,
+// one instance, the default dataset).
+type SweepRequest struct {
+	Apps       []string `json:"apps,omitempty"`
+	Collectors []string `json:"collectors,omitempty"`
+	Instances  []int    `json:"instances,omitempty"`
+	Datasets   []string `json:"datasets,omitempty"`
+	Mode       string   `json:"mode,omitempty"`
+	Native     bool     `json:"native,omitempty"`
+}
+
+// SweepItem is one line of a /v1/sweep response stream. Index aligns
+// the item with the request grid expanded in Sweep.Specs order
+// (app-major, then collector, instances, dataset); items arrive in
+// completion order.
+type SweepItem struct {
+	Index  int               `json:"index"`
+	Key    string            `json:"key,omitempty"`
+	Sum    string            `json:"sum,omitempty"`
+	Spec   hybridmem.RunSpec `json:"spec"`
+	Result *hybridmem.Result `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// handleSweep serves POST /v1/sweep: the grid streams back as JSON
+// lines as runs complete, so a client watching a long sweep sees
+// progress immediately and cached entries instantly.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	sweep := hybridmem.NewSweep(req.Apps...)
+	if len(req.Collectors) > 0 {
+		ks := make([]hybridmem.Collector, len(req.Collectors))
+		for i, name := range req.Collectors {
+			k, err := hybridmem.ParseCollector(name)
+			if err != nil {
+				fail(w, http.StatusBadRequest, err)
+				return
+			}
+			ks[i] = k
+		}
+		sweep.Collectors(ks...)
+	}
+	if len(req.Instances) > 0 {
+		for _, n := range req.Instances {
+			if n < 0 {
+				fail(w, http.StatusBadRequest,
+					fmt.Errorf("%w: instances must be >= 0, got %d", errBadRequest, n))
+				return
+			}
+		}
+		sweep.Instances(req.Instances...)
+	}
+	if len(req.Datasets) > 0 {
+		ds := make([]hybridmem.Dataset, len(req.Datasets))
+		for i, name := range req.Datasets {
+			d, err := hybridmem.ParseDataset(name)
+			if err != nil {
+				fail(w, http.StatusBadRequest, err)
+				return
+			}
+			ds[i] = d
+		}
+		sweep.Datasets(ds...)
+	}
+	if req.Native {
+		sweep.Native()
+	}
+	p := s.p
+	if req.Mode != "" {
+		m, err := hybridmem.ParseMode(req.Mode)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		p = p.With(hybridmem.WithMode(m))
+	}
+	specs := sweep.Specs()
+	for i, spec := range specs {
+		// Normalize and validate the whole grid before the stream
+		// starts: errors after the 200 header can only go in-stream.
+		specs[i] = hybridmem.NormalizeSpec(spec)
+		if err := p.Validate(specs[i]); err != nil {
+			fail(w, httpStatus(err), err)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var (
+		writeMu sync.Mutex
+		wg      sync.WaitGroup
+	)
+	emit := func(item SweepItem) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		json.NewEncoder(w).Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	queue := make(chan int, len(specs))
+	for i := range specs {
+		queue <- i
+	}
+	close(queue)
+	workers := cap(s.sem)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				rec, err := s.run(r, p, specs[i])
+				if err != nil {
+					// Per-item failures stay in-stream: the rest of the
+					// grid keeps going, the client sees which cell broke.
+					emit(SweepItem{Index: i, Spec: specs[i], Error: err.Error()})
+					continue
+				}
+				emit(SweepItem{Index: i, Key: rec.Key, Sum: rec.Sum, Spec: rec.Spec, Result: &rec.Result})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// handleResults serves GET /v1/results: the durable store's listing,
+// filtered by spec fields (?app=, ?collector=, ?dataset=, ?instances=,
+// ?native=).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	st, err := s.p.Store()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	if st == nil {
+		fail(w, http.StatusNotImplemented, errors.New("no durable store configured (start hybridserved with -store)"))
+		return
+	}
+	q := r.URL.Query()
+	match := func(rec store.Record) bool { return true }
+	filters := []func(store.Record) bool{}
+	if app := q.Get("app"); app != "" {
+		filters = append(filters, func(rec store.Record) bool { return rec.Spec.AppName == app })
+	}
+	if name := q.Get("collector"); name != "" {
+		k, err := hybridmem.ParseCollector(name)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		filters = append(filters, func(rec store.Record) bool { return !rec.Spec.Native && rec.Spec.Collector == k })
+	}
+	if name := q.Get("dataset"); name != "" {
+		d, err := hybridmem.ParseDataset(name)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		filters = append(filters, func(rec store.Record) bool { return rec.Spec.Dataset == d })
+	}
+	if v := q.Get("instances"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("bad instances %q: %w", v, err))
+			return
+		}
+		filters = append(filters, func(rec store.Record) bool { return rec.Spec.Instances == n })
+	}
+	if v := q.Get("native"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("bad native %q: %w", v, err))
+			return
+		}
+		filters = append(filters, func(rec store.Record) bool { return rec.Spec.Native == b })
+	}
+	if len(filters) > 0 {
+		match = func(rec store.Record) bool {
+			for _, f := range filters {
+				if !f(rec) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	recs := st.List(match)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Count   int            `json:"count"`
+		Records []store.Record `json:"records"`
+	}{Count: len(recs), Records: recs})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"inflight": s.inflight.Load(),
+	})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format: the platform cache's two tiers plus the server's own gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.p.CacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metric := func(name, typ, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	counter := func(name, help string, v uint64) { metric(name, "counter", help, v) }
+	gauge := func(name, help string, v uint64) { metric(name, "gauge", help, v) }
+	counter("hybridserved_cache_hits_total", "Runs served from the in-memory result cache.", cs.Hits)
+	counter("hybridserved_cache_misses_total", "Runs that missed the in-memory result cache.", cs.Misses)
+	gauge("hybridserved_cache_entries", "Entries held by the in-memory result cache.", uint64(cs.Entries))
+	counter("hybridserved_store_hits_total", "Runs restored from the durable store.", cs.DiskHits)
+	counter("hybridserved_store_misses_total", "Runs the platform had to compute.", cs.DiskMisses)
+	counter("hybridserved_store_put_failures_total", "Write-through appends that failed.", cs.StorePutFailures)
+	if st, err := s.p.Store(); err == nil && st != nil {
+		ss := st.Stats()
+		gauge("hybridserved_store_records", "Live records in the durable store.", uint64(ss.Records))
+		gauge("hybridserved_store_segments", "Segment files in the durable store.", uint64(ss.Segments))
+		gauge("hybridserved_store_bytes", "Total size of the durable store's segments.", uint64(ss.Bytes))
+	}
+	gauge("hybridserved_inflight_runs", "Platform runs currently executing.", uint64(max(s.inflight.Load(), 0)))
+	counter("hybridserved_requests_total", "HTTP requests received.", s.requests.Load())
+}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	hybridmem "repro"
+	"repro/internal/store"
+)
+
+// newTestServer builds a Quick-scale server and its httptest frontend.
+func newTestServer(t *testing.T, opts ...hybridmem.Option) (*hybridmem.Platform, *httptest.Server) {
+	t.Helper()
+	p := hybridmem.New(append([]hybridmem.Option{hybridmem.WithScale(hybridmem.Quick)}, opts...)...)
+	s, err := New(p, Config{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["status"] != "ok" {
+		t.Errorf("healthz body = %v", out)
+	}
+}
+
+func TestRunEndpointMatchesDirectRun(t *testing.T) {
+	p, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{App: "pmd", Collector: "kgw", Instances: 2})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("run = %d: %s", resp.StatusCode, body)
+	}
+	var rec store.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := hybridmem.RunSpec{AppName: "pmd", Collector: hybridmem.KGW, Instances: 2}
+	want, err := p.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.Result, want) {
+		t.Error("HTTP result is not bit-identical to the direct platform run")
+	}
+	if rec.Key != p.SpecKey(spec) {
+		t.Errorf("Key = %q, want %q", rec.Key, p.SpecKey(spec))
+	}
+	sum, err := store.Sum(rec.Key, rec.Spec, rec.Result)
+	if err != nil || rec.Sum != sum {
+		t.Errorf("Sum = %q, want the record's content address %q", rec.Sum, sum)
+	}
+}
+
+// TestRunCoalescesConcurrentRequests is the service half of the
+// acceptance proof: N identical concurrent requests perform exactly
+// one platform compute.
+func TestRunCoalescesConcurrentRequests(t *testing.T) {
+	p, ts := newTestServer(t)
+	const n = 8
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []store.Record
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/run", RunRequest{App: "lusearch", Collector: "KG-N"})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("run = %d", resp.StatusCode)
+				return
+			}
+			var rec store.Record
+			if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			results = append(results, rec)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	st := p.CacheStats()
+	if st.Misses != 1 {
+		t.Errorf("cache misses = %d, want exactly 1 compute for %d identical requests", st.Misses, n)
+	}
+	if st.Hits != n-1 {
+		t.Errorf("cache hits = %d, want %d", st.Hits, n-1)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results[1:] {
+		if !reflect.DeepEqual(r, results[0]) {
+			t.Error("coalesced responses differ")
+		}
+	}
+}
+
+func TestRunRejectsUnknownNames(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		req  RunRequest
+		want string
+	}{
+		{RunRequest{App: "pmd", Collector: "zgc"}, "unknown"},
+		{RunRequest{App: "nonsense"}, "unknown"},
+		{RunRequest{App: "pmd", Dataset: "huge"}, "unknown"},
+		{RunRequest{App: "pmd", Mode: "fpga"}, "unknown"},
+		{RunRequest{App: "pmd", Instances: -4}, "instances"},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/run", tc.req)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v -> %d (%s), want 400", tc.req, resp.StatusCode, body)
+		}
+		if !bytes.Contains(body, []byte(tc.want)) {
+			t.Errorf("%+v error body %q lacks %q", tc.req, body, tc.want)
+		}
+	}
+}
+
+func TestSweepStreamsAlignedGrid(t *testing.T) {
+	p, ts := newTestServer(t)
+	req := SweepRequest{Apps: []string{"pmd"}, Collectors: []string{"PCM-Only", "KG-W"}, Instances: []int{1, 2}}
+	resp := postJSON(t, ts.URL+"/v1/sweep", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	specs := hybridmem.NewSweep("pmd").
+		Collectors(hybridmem.PCMOnly, hybridmem.KGW).Instances(1, 2).Specs()
+	seen := map[int]SweepItem{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var item SweepItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if item.Error != "" {
+			t.Fatalf("spec %d failed: %s", item.Index, item.Error)
+		}
+		seen[item.Index] = item
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(specs) {
+		t.Fatalf("streamed %d items, want %d", len(seen), len(specs))
+	}
+	for i, spec := range specs {
+		item, ok := seen[i]
+		if !ok {
+			t.Fatalf("missing item %d", i)
+		}
+		want, err := p.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if item.Result == nil || !reflect.DeepEqual(*item.Result, want) {
+			t.Errorf("item %d result misaligned with Specs()[%d]", i, i)
+		}
+	}
+}
+
+func TestResultsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, hybridmem.WithStore(dir))
+	for _, req := range []RunRequest{
+		{App: "pmd", Collector: "KG-W"},
+		{App: "lusearch", Collector: "KG-W"},
+		{App: "lusearch", Collector: "PCM-Only"},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/run", req)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seeding run = %d", resp.StatusCode)
+		}
+	}
+
+	get := func(query string) (int, struct {
+		Count   int            `json:"count"`
+		Records []store.Record `json:"records"`
+	}) {
+		resp, err := http.Get(ts.URL + "/v1/results" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Count   int            `json:"count"`
+			Records []store.Record `json:"records"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, out
+	}
+
+	if code, out := get(""); code != http.StatusOK || out.Count != 3 {
+		t.Errorf("unfiltered = %d/%d records, want 200/3", code, out.Count)
+	}
+	if code, out := get("?app=lusearch"); code != http.StatusOK || out.Count != 2 {
+		t.Errorf("app filter = %d/%d, want 200/2", code, out.Count)
+	}
+	code, out := get("?app=lusearch&collector=pcmonly")
+	if code != http.StatusOK || out.Count != 1 {
+		t.Fatalf("combined filter = %d/%d, want 200/1", code, out.Count)
+	}
+	if got := out.Records[0].Spec; got.AppName != "lusearch" || got.Collector != hybridmem.PCMOnly {
+		t.Errorf("filtered record spec = %+v", got)
+	}
+	if code, _ := get("?collector=zgc"); code != http.StatusBadRequest {
+		t.Errorf("bad collector filter = %d, want 400", code)
+	}
+
+	// Without a store the listing is explicitly unavailable.
+	_, plain := newTestServer(t)
+	resp, err := http.Get(plain.URL + "/v1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("storeless results = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, hybridmem.WithStore(dir))
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{App: "pmd"})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	text := string(body)
+	for _, metric := range []string{
+		"hybridserved_cache_hits_total",
+		"hybridserved_cache_misses_total 1",
+		"hybridserved_store_misses_total 1",
+		"hybridserved_store_records 1",
+		"hybridserved_inflight_runs 0",
+		"hybridserved_requests_total",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("metrics missing %q:\n%s", metric, text)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestStoreOpenFailsAtStartup checks New fails fast on a bad store
+// directory instead of on the first request.
+func TestStoreOpenFailsAtStartup(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(bad, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick), hybridmem.WithStore(bad))
+	if _, err := New(p, Config{}); err == nil {
+		t.Fatal("New must fail when the store cannot open")
+	}
+}

@@ -1,0 +1,373 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jvm"
+	"repro/internal/machine"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleResult builds a deterministic fully-populated Result.
+func sampleResult(n uint64) core.Result {
+	return core.Result{
+		DRAMWriteLines:     1000 + n,
+		PCMWriteLines:      2000 + n,
+		DRAMReadLines:      3000 + n,
+		PCMReadLines:       4000 + n,
+		Seconds:            1.5,
+		PerInstanceSeconds: []float64{1.5},
+		RuntimeStats:       []jvm.Stats{{MinorGCs: int(n), AllocBytes: 1 << 20}},
+		AllocBytes:         []uint64{1 << 20},
+		PeakResidentBytes:  []uint64{1 << 22},
+		ZeroedPages:        42,
+		QPI:                machine.QPIStats{ReadLines: 7, WriteLines: 8},
+		FreeListMaps:       3,
+		FreeListRecycles:   4,
+	}
+}
+
+func sampleSpec(app string) core.RunSpec {
+	return core.RunSpec{AppName: app, Collector: jvm.KGW, Instances: 2, Dataset: 1}
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := s.Put(key, sampleSpec("pmd"), sampleResult(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	// Identical re-put is a no-op.
+	if err := s.Put("key-0", sampleSpec("pmd"), sampleResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Appends != 5 {
+		t.Errorf("Appends = %d, want 5 (identical re-put must not append)", st.Appends)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 5 {
+		t.Fatalf("reopened Len = %d, want 5", r.Len())
+	}
+	rec, ok := r.Get("key-3")
+	if !ok {
+		t.Fatal("key-3 missing after reopen")
+	}
+	if !reflect.DeepEqual(rec.Result, sampleResult(3)) {
+		t.Error("key-3 result not bit-identical after reopen")
+	}
+	if rec.Spec != sampleSpec("pmd") {
+		t.Errorf("key-3 spec = %+v", rec.Spec)
+	}
+	if st := r.Stats(); st.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0 on a clean store", st.Dropped)
+	}
+}
+
+func TestCrashRecoveryTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), sampleSpec("pmd"), sampleResult(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop the tail record in half.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v, want 1", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	torn := append(bytes.Join(lines[:2], nil), lines[2][:len(lines[2])/2]...)
+	if err := os.WriteFile(segs[0], torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("recovered Len = %d, want 2 (torn tail dropped)", r.Len())
+	}
+	if _, ok := r.Get("key-2"); ok {
+		t.Error("torn record must not survive recovery")
+	}
+	if st := r.Stats(); st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+
+	// Appends after a torn tail go to a fresh segment and survive a
+	// further reopen alongside the recovered records.
+	if err := r.Put("key-9", sampleSpec("pmd"), sampleResult(9)); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) != 2 {
+		t.Fatalf("segments after torn-tail append = %d, want 2 (never extend corrupt bytes)", len(segs))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 3 {
+		t.Fatalf("final Len = %d, want 3", r2.Len())
+	}
+}
+
+func TestRecoveryDropsMismatchedSum(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", sampleSpec("pmd"), sampleResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a record body without touching its content address.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(bytes.TrimSpace(data), &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Result.PCMWriteLines++
+	rec.Key = "evil"
+	line, _ := json.Marshal(rec)
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Get("evil"); ok {
+		t.Error("record with stale content address must be dropped")
+	}
+	if _, ok := r.Get("good"); !ok {
+		t.Error("intact record lost during recovery")
+	}
+	if st := r.Stats(); st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), sampleSpec("pmd"), sampleResult(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shadow key-1 so compaction has garbage to drop.
+	if err := s.Put("key-1", sampleSpec("xalan"), sampleResult(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len after Compact = %d, want 4", s.Len())
+	}
+	rec, ok := s.Get("key-1")
+	if !ok || rec.Spec.AppName != "xalan" {
+		t.Error("Compact must keep the latest record per key")
+	}
+	// Compacted data + an empty active segment.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) != 2 {
+		t.Fatalf("segments after Compact = %v, want compacted + active", segs)
+	}
+	if err := s.Put("key-5", sampleSpec("pmd"), sampleResult(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 5 {
+		t.Fatalf("reopened Len = %d, want 5", r.Len())
+	}
+	if rec, ok := r.Get("key-1"); !ok || rec.Spec.AppName != "xalan" {
+		t.Error("latest key-1 lost across Compact + reopen")
+	}
+}
+
+func TestListFilterAndOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, app := range []string{"xalan", "pmd", "lusearch"} {
+		if err := s.Put("app="+app, sampleSpec(app), sampleResult(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.List(nil)
+	if len(all) != 3 {
+		t.Fatalf("List(nil) = %d records, want 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key >= all[i].Key {
+			t.Fatalf("List not sorted: %q before %q", all[i-1].Key, all[i].Key)
+		}
+	}
+	pmd := s.List(func(r Record) bool { return r.Spec.AppName == "pmd" })
+	if len(pmd) != 1 || pmd[0].Spec.AppName != "pmd" {
+		t.Errorf("filtered List = %+v", pmd)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", i)
+				if err := s.Put(key, sampleSpec("pmd"), sampleResult(uint64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(key); !ok {
+					t.Errorf("key %q missing right after Put", key)
+					return
+				}
+				s.Len()
+				s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", r.Len())
+	}
+	if st := r.Stats(); st.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0 (concurrent appends must not tear)", st.Dropped)
+	}
+}
+
+// TestRecordGolden freezes the segment-line JSON schema. If this test
+// fails, the on-disk and HTTP wire format changed: bump the store
+// format deliberately and regenerate testdata/record_golden.jsonl with
+// -update.
+func TestRecordGolden(t *testing.T) {
+	key := "mode=emulation;seed=1;l3=0;nursery=0;obs=0;tsock=-1;mon=0;quantum=0;unmap=false;wear=false;boot=4;factory=scale:quick;app=pmd;gc=KG-W;n=2;ds=large;native=false"
+	spec := sampleSpec("pmd")
+	res := sampleResult(1)
+	sum, err := Sum(key, spec, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := json.Marshal(Record{Key: key, Sum: sum, Spec: spec, Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line = append(line, '\n')
+
+	golden := filepath.Join("testdata", "record_golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, line, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, want) {
+		t.Errorf("segment record schema drifted from golden file\n got: %s\nwant: %s", line, want)
+	}
+
+	// And the frozen bytes still decode to the same record.
+	var rec Record
+	if err := json.Unmarshal(bytes.TrimSpace(want), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Key != key || rec.Sum != sum || !reflect.DeepEqual(rec.Result, res) {
+		t.Error("golden record does not decode back to the original")
+	}
+}

@@ -1,0 +1,105 @@
+package hybridmem
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCollectorStringRoundTrip checks every collector survives
+// String() → ParseCollector, i.e. the paper names printed anywhere in
+// the tooling are always valid inputs again.
+func TestCollectorStringRoundTrip(t *testing.T) {
+	for _, k := range Collectors() {
+		got, err := ParseCollector(k.String())
+		if err != nil {
+			t.Errorf("ParseCollector(%q): %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("round trip %q: got %v, want %v", k.String(), got, k)
+		}
+	}
+}
+
+// TestCollectorAliasesStable freezes the punctuation-folded aliases:
+// flag values and HTTP requests in the wild rely on them.
+func TestCollectorAliasesStable(t *testing.T) {
+	aliases := map[string]Collector{
+		"pcmonly":  PCMOnly,
+		"PCM_ONLY": PCMOnly,
+		"pcm only": PCMOnly,
+		"kgn":      KGN,
+		"kg-n":     KGN,
+		"kgb":      KGB,
+		"kgnloo":   KGNLOO,
+		"KG-N+LOO": KGNLOO,
+		"kg_n_loo": KGNLOO,
+		"kgbloo":   KGBLOO,
+		"kgw":      KGW,
+		"KG-W":     KGW,
+		"kg w":     KGW,
+		"kgwloo":   KGWNoLOO,
+		"KG-W-LOO": KGWNoLOO,
+		"kgwmdo":   KGWNoMDO,
+		"kg-w-mdo": KGWNoMDO,
+	}
+	for name, want := range aliases {
+		got, err := ParseCollector(name)
+		if err != nil {
+			t.Errorf("ParseCollector(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("alias %q: got %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"", "zgc", "kg", "kgx", "loo"} {
+		if _, err := ParseCollector(bad); !errors.Is(err, ErrUnknownCollector) {
+			t.Errorf("ParseCollector(%q) err = %v, want ErrUnknownCollector", bad, err)
+		}
+	}
+}
+
+func TestScaleStringRoundTrip(t *testing.T) {
+	for _, s := range []Scale{Quick, Std, Full} {
+		got, err := ParseScale(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %q: got %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if got, err := ParseScale("standard"); err != nil || got != Std {
+		t.Errorf(`ParseScale("standard") = %v, %v; want Std`, got, err)
+	}
+	if _, err := ParseScale(""); !errors.Is(err, ErrUnknownScale) {
+		t.Errorf("empty scale err = %v, want ErrUnknownScale", err)
+	}
+}
+
+func TestDatasetStringRoundTrip(t *testing.T) {
+	for _, d := range []Dataset{Default, Large} {
+		got, err := ParseDataset(d.String())
+		if err != nil || got != d {
+			t.Errorf("round trip %q: got %v, %v; want %v", d.String(), got, err, d)
+		}
+	}
+	if _, err := ParseDataset(""); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("empty dataset err = %v, want ErrUnknownDataset", err)
+	}
+}
+
+func TestModeStringRoundTrip(t *testing.T) {
+	for _, m := range []Mode{Emulation, Simulation} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %q: got %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	for name, want := range map[string]Mode{"emul": Emulation, "sim": Simulation} {
+		if got, err := ParseMode(name); err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseMode(""); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("empty mode err = %v, want ErrUnknownMode", err)
+	}
+}

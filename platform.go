@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/jvm"
+	"repro/internal/store"
 	"repro/internal/workloads"
 	"repro/internal/workloads/all"
 	"repro/internal/workloads/graphchi"
@@ -127,6 +129,7 @@ type config struct {
 	factory        func(string) workloads.App
 	factoryKey     string
 	parallelism    int
+	storeDir       string
 }
 
 // defaultConfig mirrors core.DefaultOptions: emulation pipeline,
@@ -231,13 +234,29 @@ func WithBootMB(mb int) Option {
 // concurrently (0 = one per available core).
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
+// WithStore attaches a durable result store rooted at dir as a second
+// cache tier: lookups fall through memory → disk → compute, computed
+// Results are written through, and the store survives the process —
+// a rerun of the same grid performs zero recomputes. The directory is
+// created (and its segments replayed) lazily on first use; open
+// failures surface from Run. Derived platforms (With) share the
+// parent's store unless they name a different directory; "" detaches
+// the tier.
+//
+// Disk entries are keyed by SpecKey and shared across processes.
+// Custom WithAppFactory configurations bypass the disk tier entirely:
+// their identity is process-local, so persisted entries could not be
+// told apart from a different factory's in the next process.
+func WithStore(dir string) Option { return func(c *config) { c.storeDir = dir } }
+
 // Platform is a reusable, concurrent-safe experiment engine: one
-// platform configuration plus a result cache shared with every
-// platform derived from it via With. All methods are safe for
-// concurrent use.
+// platform configuration plus a result cache (and optional durable
+// store tier) shared with every platform derived from it via With.
+// All methods are safe for concurrent use.
 type Platform struct {
 	cfg   config
 	cache *resultCache
+	disk  *storeTier // nil without WithStore
 }
 
 // New constructs a Platform from functional options.
@@ -246,20 +265,73 @@ func New(opts ...Option) *Platform {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Platform{cfg: cfg, cache: newResultCache()}
+	p := &Platform{cfg: cfg, cache: newResultCache()}
+	if cfg.storeDir != "" {
+		p.disk = &storeTier{dir: cfg.storeDir}
+	}
+	return p
 }
 
 // With derives a Platform with additional options applied. The
-// derivative shares the parent's result cache — results are keyed by
-// their full effective configuration, so experiment drivers can vary
-// one knob (thread placement, L3 size, observer factor, ...) without
-// re-running shared configurations.
+// derivative shares the parent's result cache and durable store —
+// results are keyed by their full effective configuration, so
+// experiment drivers can vary one knob (thread placement, L3 size,
+// observer factor, ...) without re-running shared configurations.
 func (p *Platform) With(opts ...Option) *Platform {
 	cfg := p.cfg
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Platform{cfg: cfg, cache: p.cache}
+	d := p.disk
+	if cfg.storeDir != p.cfg.storeDir {
+		// A different directory is a different store; "" detaches.
+		d = nil
+		if cfg.storeDir != "" {
+			d = &storeTier{dir: cfg.storeDir}
+		}
+	}
+	return &Platform{cfg: cfg, cache: p.cache, disk: d}
+}
+
+// storeTier is the lazily-opened durable tier shared by a platform
+// family. Counters live here (not on resultCache) so detaching or
+// swapping the store swaps its stats with it.
+type storeTier struct {
+	dir      string
+	mu       sync.Mutex
+	s        *store.Store
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	putFails atomic.Uint64
+}
+
+// open opens the store on first use. Failures are returned but not
+// latched: a transient condition (full disk, unmounted volume) is
+// retried on the next call rather than poisoning the platform for the
+// process lifetime.
+func (t *storeTier) open() (*store.Store, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.s != nil {
+		return t.s, nil
+	}
+	s, err := store.Open(t.dir)
+	if err != nil {
+		return nil, err
+	}
+	t.s = s
+	return s, nil
+}
+
+// Store returns the platform's durable result store, opening it on
+// first use ((nil, nil) when the platform has none). The store is
+// shared with every derived platform; callers may List its records or
+// Compact it, but should leave writes to the platform.
+func (p *Platform) Store() (*store.Store, error) {
+	if p.disk == nil {
+		return nil, nil
+	}
+	return p.disk.open()
 }
 
 // Scale returns the platform's input scale.
@@ -298,6 +370,13 @@ func normalizeSpec(spec RunSpec) RunSpec {
 	}
 	return spec
 }
+
+// NormalizeSpec applies the platform's RunSpec defaulting — a zero
+// instance count means one instance, and native runs ignore the
+// collector — returning the spec exactly as Run caches, stores, and
+// keys it. Front-ends that echo specs back to callers use this to
+// stay consistent with the persisted Records.
+func NormalizeSpec(spec RunSpec) RunSpec { return normalizeSpec(spec) }
 
 // validateSpec type-checks a spec before it reaches the engine.
 func (p *Platform) validateSpec(spec RunSpec) error {
@@ -360,6 +439,106 @@ func (p *Platform) key(spec RunSpec) cacheKey {
 	}
 }
 
+// canonical renders the key as the stable string form the durable
+// store is addressed by. Unlike the struct (which is compared, not
+// persisted), this format is an on-disk contract: entries written by
+// one process must be found by the next, so fields are spelled with
+// their String names and the layout only changes with the store
+// format.
+func (k cacheKey) canonical() string {
+	return strings.Join([]string{
+		"mode=" + k.mode.String(),
+		"seed=" + strconv.FormatUint(k.seed, 10),
+		"l3=" + strconv.Itoa(k.l3Bytes),
+		"nursery=" + strconv.Itoa(k.baseNurseryMB),
+		"obs=" + strconv.Itoa(k.observerFactor),
+		"tsock=" + strconv.Itoa(k.threadSocket),
+		"mon=" + strconv.Itoa(k.monitorNode),
+		"quantum=" + strconv.FormatFloat(k.quantumCycles, 'g', -1, 64),
+		"unmap=" + strconv.FormatBool(k.unmapFreed),
+		"wear=" + strconv.FormatBool(k.trackWear),
+		"boot=" + strconv.Itoa(k.bootMB),
+		"factory=" + k.factoryKey,
+		"app=" + k.app,
+		"gc=" + k.collector.String(),
+		"n=" + strconv.Itoa(k.instances),
+		"ds=" + k.dataset.String(),
+		"native=" + strconv.FormatBool(k.native),
+	}, ";")
+}
+
+// SpecKey returns the canonical key identifying one experiment under
+// this platform's effective configuration — the key the durable store
+// (WithStore) files its Result under. Two platforms produce equal keys
+// exactly when they would produce bit-identical Results for the spec.
+func (p *Platform) SpecKey(spec RunSpec) string {
+	return p.key(normalizeSpec(spec)).canonical()
+}
+
+// Validate type-checks a spec against the platform's configuration —
+// collector range, application factory — without running it. It
+// returns the same typed errors Run would (ErrUnknownApp,
+// ErrUnknownCollector), so front-ends can reject a bad request before
+// committing resources to it.
+func (p *Platform) Validate(spec RunSpec) error {
+	return p.validateSpec(normalizeSpec(spec))
+}
+
+// Peek returns the Result for a spec if it is already available — a
+// completed in-memory entry or a durable-store record — without
+// blocking on in-flight runs and without computing. A successful Peek
+// counts as a hit on the tier that served it; a disk Peek does not
+// promote the record into the memory tier.
+func (p *Platform) Peek(spec RunSpec) (Result, bool) {
+	spec = normalizeSpec(spec)
+	if p.validateSpec(spec) != nil {
+		return Result{}, false
+	}
+	key := p.key(spec)
+	c := p.cache
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				c.hits++
+				c.mu.Unlock()
+				return e.res, true
+			}
+		default: // in flight; Peek never waits
+		}
+	}
+	c.mu.Unlock()
+	if p.disk != nil && durableKey(key) {
+		if s, err := p.disk.open(); err == nil {
+			if rec, ok := s.Get(key.canonical()); ok {
+				p.disk.hits.Add(1)
+				return rec.Result, true
+			}
+		}
+	}
+	return Result{}, false
+}
+
+// Joinable reports whether a Run for spec would be served from the
+// memory tier right now — a completed or in-flight single-flight
+// entry exists — without starting a new compute. The answer is
+// advisory: an in-flight entry can fail and be retired before a
+// subsequent Run, which would then compute. Admission controllers use
+// this to let duplicate requests join a running compute without
+// consuming a concurrency slot.
+func (p *Platform) Joinable(spec RunSpec) bool {
+	spec = normalizeSpec(spec)
+	if p.validateSpec(spec) != nil {
+		return false
+	}
+	key := p.key(spec)
+	p.cache.mu.Lock()
+	_, ok := p.cache.entries[key]
+	p.cache.mu.Unlock()
+	return ok
+}
+
 // cacheEntry is one in-flight or completed run. done is closed once
 // res/err are final.
 type cacheEntry struct {
@@ -386,17 +565,34 @@ func newResultCache() *resultCache {
 // calls served from a completed or in-flight entry; Entries counts
 // entries currently held — memoized successful results plus any runs
 // still in flight (failed runs are dropped on completion).
+//
+// With a durable store attached (WithStore), every memory miss
+// consults the disk tier: DiskHits count runs restored from the store
+// without recomputing, DiskMisses count genuine platform computes, and
+// StorePutFailures counts write-through appends that failed (the run
+// still succeeds; the result is just not durable). Without a store all
+// three stay zero and Misses alone counts computes.
 type CacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits             uint64
+	Misses           uint64
+	Entries          int
+	DiskHits         uint64
+	DiskMisses       uint64
+	StorePutFailures uint64
 }
 
-// CacheStats returns a snapshot of the platform's shared result cache.
+// CacheStats returns a snapshot of the platform's shared result cache
+// and store tier.
 func (p *Platform) CacheStats() CacheStats {
 	p.cache.mu.Lock()
-	defer p.cache.mu.Unlock()
-	return CacheStats{Hits: p.cache.hits, Misses: p.cache.misses, Entries: len(p.cache.entries)}
+	st := CacheStats{Hits: p.cache.hits, Misses: p.cache.misses, Entries: len(p.cache.entries)}
+	p.cache.mu.Unlock()
+	if p.disk != nil {
+		st.DiskHits = p.disk.hits.Load()
+		st.DiskMisses = p.disk.misses.Load()
+		st.StorePutFailures = p.disk.putFails.Load()
+	}
+	return st
 }
 
 // Run executes one experiment, serving it from the shared cache when
@@ -446,6 +642,24 @@ func (p *Platform) Run(ctx context.Context, spec RunSpec) (Result, error) {
 			close(e.done)
 		}
 	}()
+
+	// Second tier: a durable store restores the run without
+	// recomputing. Disk hits are memoized in memory like computes.
+	if res, ok, derr := p.diskGet(key); derr != nil {
+		finished = true
+		e.err = fmt.Errorf("hybridmem: %s: %w", specLabel(spec), derr)
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		close(e.done)
+		return Result{}, e.err
+	} else if ok {
+		finished = true
+		e.res = res
+		close(e.done)
+		return e.res, nil
+	}
+
 	e.res, e.err = core.Run(p.coreOptions(), spec)
 	finished = true
 	if e.err != nil {
@@ -455,9 +669,60 @@ func (p *Platform) Run(ctx context.Context, spec RunSpec) (Result, error) {
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
+	} else {
+		p.diskPut(key, spec, e.res)
 	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// durableKey reports whether a key is stable across processes and may
+// therefore live in the durable tier. Custom WithAppFactory keys
+// ("factory:N") are process-local — a restart numbers a *different*
+// factory identically, so persisting them would serve one workload's
+// Results for another.
+func durableKey(key cacheKey) bool {
+	return !strings.HasPrefix(key.factoryKey, "factory:")
+}
+
+// diskGet consults the durable tier. ok reports a disk hit; err
+// reports a store that failed to open (surfaced so a misconfigured
+// -store dir fails loudly rather than silently recomputing).
+func (p *Platform) diskGet(key cacheKey) (Result, bool, error) {
+	if p.disk == nil {
+		return Result{}, false, nil
+	}
+	if !durableKey(key) {
+		p.disk.misses.Add(1)
+		return Result{}, false, nil
+	}
+	s, err := p.disk.open()
+	if err != nil {
+		return Result{}, false, err
+	}
+	if rec, ok := s.Get(key.canonical()); ok {
+		p.disk.hits.Add(1)
+		return rec.Result, true, nil
+	}
+	p.disk.misses.Add(1)
+	return Result{}, false, nil
+}
+
+// diskPut writes a computed Result through to the durable tier.
+// Append failures do not fail the run — the Result is correct, just
+// not durable — but they are counted in CacheStats.StorePutFailures.
+func (p *Platform) diskPut(key cacheKey, spec RunSpec, res Result) {
+	if p.disk == nil || !durableKey(key) {
+		return
+	}
+	s, err := p.disk.open()
+	if err != nil {
+		p.disk.putFails.Add(1)
+		return
+	}
+	if err := s.Put(key.canonical(), spec, res); err != nil {
+		p.disk.putFails.Add(1)
+	}
 }
 
 // specLabel names one experiment for error messages.

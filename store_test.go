@@ -1,0 +1,183 @@
+package hybridmem
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// storeGrid is a small but multi-dimensional paperfigs-style grid.
+func storeGrid() *Sweep {
+	return NewSweep("lusearch", "pmd").Collectors(PCMOnly, KGW).Instances(1, 2)
+}
+
+// TestStoreWarmStart is the subsystem's acceptance proof: a second
+// process (modeled by a fresh Platform on the same directory) replays
+// the whole grid from disk — zero recomputes, bit-identical Results.
+func TestStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	grid := storeGrid()
+	n := len(grid.Specs())
+
+	cold := New(WithScale(Quick), WithStore(dir))
+	coldRes, err := cold.RunSweep(ctx, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.CacheStats(); st.DiskHits != 0 || st.DiskMisses != uint64(n) {
+		t.Fatalf("cold stats = %+v, want 0 disk hits / %d disk misses", st, n)
+	}
+	s, err := cold.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != n {
+		t.Fatalf("store holds %d records, want %d", s.Len(), n)
+	}
+	// Close the cold store so it leaves the per-process registry: the
+	// warm platform must replay the segments from disk, as a genuinely
+	// restarted process would.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := New(WithScale(Quick), WithStore(dir))
+	warmRes, err := warm.RunSweep(ctx, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.CacheStats()
+	if st.DiskHits != uint64(n) || st.DiskMisses != 0 {
+		t.Fatalf("warm stats = %+v, want %d disk hits / 0 disk misses (zero recomputes)", st, n)
+	}
+
+	storeless := New(WithScale(Quick))
+	plainRes, err := storeless.RunSweep(ctx, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmRes, plainRes) || !reflect.DeepEqual(coldRes, plainRes) {
+		t.Error("stored results are not bit-identical to storeless runs")
+	}
+}
+
+// TestStoreSharedByDerivedPlatforms checks that With-derived variants
+// write through the same store and find each other's results across a
+// restart.
+func TestStoreSharedByDerivedPlatforms(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	spec := RunSpec{AppName: "pmd", Collector: PCMOnly}
+
+	p := New(WithScale(Quick), WithStore(dir))
+	if _, err := p.With(WithThreadSocket(0)).Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store holds %d records, want 2 (derived platform shares it)", s.Len())
+	}
+	// Evict from the per-process registry so the next platform replays
+	// from disk like a real restart.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := New(WithScale(Quick), WithStore(dir))
+	if _, err := p2.With(WithThreadSocket(0)).Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := p2.CacheStats(); st.DiskHits != 1 || st.DiskMisses != 0 {
+		t.Errorf("derived warm stats = %+v, want 1 disk hit / 0 misses", st)
+	}
+
+	// A detached derivative neither reads nor writes the store.
+	s2, err := p2.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := p2.With(WithStore(""))
+	if _, err := off.Run(ctx, RunSpec{AppName: "lusearch", Collector: PCMOnly}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Errorf("detached platform wrote to the store (Len = %d)", s2.Len())
+	}
+}
+
+// TestStoreSkipsCustomFactoryKeys checks that custom-factory runs
+// bypass the durable tier: their "factory:N" identity is
+// process-local, so a persisted entry could be misattributed to a
+// different factory after a restart.
+func TestStoreSkipsCustomFactoryKeys(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p := New(WithScale(Quick), WithStore(dir), WithAppFactory(ScaledApps(Quick)))
+	spec := RunSpec{AppName: "pmd", Collector: PCMOnly}
+	if _, err := p.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("store holds %d records, want 0 (custom factories are not durable)", s.Len())
+	}
+	if st := p.CacheStats(); st.DiskHits != 0 || st.DiskMisses != 1 {
+		t.Errorf("stats = %+v, want 0 disk hits / 1 disk miss", st)
+	}
+	if _, ok := p.Peek(spec); !ok {
+		t.Error("Peek must still serve the memory tier for custom-factory runs")
+	}
+}
+
+// TestStoreOpenErrorSurfaces checks a misconfigured store directory
+// fails the run loudly instead of silently recomputing forever.
+func TestStoreOpenErrorSurfaces(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := New(WithScale(Quick), WithStore(file))
+	_, err := p.Run(context.Background(), RunSpec{AppName: "pmd", Collector: PCMOnly})
+	if err == nil {
+		t.Fatal("Run with an unopenable store must fail")
+	}
+	if _, err := p.Store(); err == nil {
+		t.Error("Store() must surface the open failure")
+	}
+}
+
+func TestSpecKeyCanonical(t *testing.T) {
+	p := New(WithScale(Quick), WithSeed(7))
+	spec := RunSpec{AppName: "pmd", Collector: KGW, Instances: 2, Dataset: Large}
+	key := p.SpecKey(spec)
+	for _, want := range []string{
+		"mode=emulation", "seed=7", "factory=scale:quick",
+		"app=pmd", "gc=KG-W", "n=2", "ds=large", "native=false", "boot=4",
+	} {
+		if !strings.Contains(key, want) {
+			t.Errorf("SpecKey missing %q:\n%s", want, key)
+		}
+	}
+	// Normalization: the zero instance count is the 1-instance run.
+	a := p.SpecKey(RunSpec{AppName: "pmd", Collector: KGW})
+	b := p.SpecKey(RunSpec{AppName: "pmd", Collector: KGW, Instances: 1})
+	if a != b {
+		t.Error("normalized specs must share a key")
+	}
+	if p.SpecKey(spec) == p.With(WithSeed(8)).SpecKey(spec) {
+		t.Error("different seeds must key differently")
+	}
+}

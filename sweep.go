@@ -51,7 +51,11 @@ func (s *Sweep) Native() *Sweep {
 
 // Specs expands the grid into RunSpecs, ordered app-major then
 // collector, instances, dataset — a fixed order, so Specs()[i] lines
-// up with the i-th Result of RunSweep and RunBatch.
+// up with the i-th Result of RunSweep and RunBatch. Empty dimensions
+// take their documented defaults (the 15-benchmark registry, all
+// eight collectors, 1 instance, the Default dataset); repeated entries
+// are preserved in order, so a dimension like Instances(1, 1, 2)
+// yields aligned duplicate columns rather than collapsing.
 func (s *Sweep) Specs() []RunSpec {
 	apps := s.apps
 	if len(apps) == 0 {

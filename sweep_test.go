@@ -1,0 +1,85 @@
+package hybridmem
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestSweepSpecsDefaults pins the documented defaults: each empty
+// dimension expands to the full registry, all eight collectors, one
+// instance, and the default dataset.
+func TestSweepSpecsDefaults(t *testing.T) {
+	specs := NewSweep("pmd").Specs()
+	if len(specs) != len(Collectors()) {
+		t.Fatalf("one-app default sweep = %d specs, want %d", len(specs), len(Collectors()))
+	}
+	for i, spec := range specs {
+		if spec.Collector != Collectors()[i] {
+			t.Errorf("spec %d collector = %v, want the paper order %v", i, spec.Collector, Collectors()[i])
+		}
+		if spec.Instances != 1 || spec.Dataset != Default || spec.Native {
+			t.Errorf("spec %d defaults wrong: %+v", i, spec)
+		}
+	}
+	if n := len(NewSweep().Collectors(KGW).Specs()); n != len(Apps()) {
+		t.Errorf("no-app sweep = %d specs, want the %d-benchmark registry", n, len(Apps()))
+	}
+}
+
+// TestSweepSpecsRepeatedEntries checks repeats are preserved in order,
+// not deduplicated: a caller sweeping (1, 1, 2) instances gets three
+// aligned result columns.
+func TestSweepSpecsRepeatedEntries(t *testing.T) {
+	specs := NewSweep("pmd", "pmd").Collectors(KGW).Instances(1, 1, 2).Specs()
+	if len(specs) != 2*3 {
+		t.Fatalf("sweep size = %d, want 6", len(specs))
+	}
+	wantInstances := []int{1, 1, 2, 1, 1, 2}
+	for i, spec := range specs {
+		if spec.AppName != "pmd" || spec.Instances != wantInstances[i] {
+			t.Errorf("spec %d = %+v, want pmd x%d", i, spec, wantInstances[i])
+		}
+	}
+	if !reflect.DeepEqual(specs[0], specs[1]) {
+		t.Error("repeated entries must expand to identical specs")
+	}
+}
+
+// TestSweepNativeAlignment checks Specs()[i] ↔ RunSweep result
+// alignment under Native(): the collector dimension collapses and
+// every result matches a direct Run of the same indexed spec.
+func TestSweepNativeAlignment(t *testing.T) {
+	p := New(WithScale(Quick))
+	ctx := context.Background()
+	sweep := NewSweep("PR", "CC").Collectors(KGW, KGN).Instances(1, 2).Native()
+	specs := sweep.Specs()
+	// Native collapses collectors: 2 apps x 1 x 2 instances.
+	if len(specs) != 4 {
+		t.Fatalf("native sweep = %d specs, want 4", len(specs))
+	}
+	for i, spec := range specs {
+		if !spec.Native || spec.Collector != 0 {
+			t.Errorf("spec %d = %+v, want native with collapsed collector", i, spec)
+		}
+	}
+	results, err := p.RunSweep(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("RunSweep returned %d results for %d specs", len(results), len(specs))
+	}
+	for i, spec := range specs {
+		direct, err := p.Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i], direct) {
+			t.Errorf("results[%d] does not equal Run(Specs()[%d])", i, i)
+		}
+		if len(direct.NativeStats) != spec.Instances {
+			t.Errorf("spec %d: %d native stats for %d instances", i, len(direct.NativeStats), spec.Instances)
+		}
+	}
+}
