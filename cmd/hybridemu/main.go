@@ -6,6 +6,7 @@
 //
 //	hybridemu -app lusearch -gc KG-W [-instances 4] [-dataset large]
 //	          [-mode emul|sim] [-native] [-l3mb 20] [-scale quick|std|full]
+//	          [-policy static|first-touch|write-threshold|wear-level]
 //	          [-store DIR]
 //
 // Bad flag values exit with status 2 and the platform's typed-error
@@ -33,6 +34,7 @@ func main() {
 	native := flag.Bool("native", false, "run the C++ implementation (GraphChi apps)")
 	l3mb := flag.Int("l3mb", 0, "override the shared L3 size in MB")
 	scale := flag.String("scale", "std", "input scale: quick, std, or full")
+	policyName := flag.String("policy", "static", "placement policy: static, first-touch, write-threshold, wear-level")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	storeDir := flag.String("store", "", "durable result store directory: identical reruns replay from disk")
 	list := flag.Bool("list", false, "list benchmarks and exit")
@@ -69,14 +71,25 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	pol, err := hybridmem.ParsePolicy(*policyName)
+	if err != nil {
+		fail(err)
+	}
 	if *instances < 1 {
 		fail(fmt.Errorf("-instances must be at least 1, got %d", *instances))
+	}
+	if *native && pol != hybridmem.Static {
+		// Native runs have no GC safepoints for the engine to hook;
+		// say so instead of printing a policy that had no effect.
+		fmt.Fprintf(os.Stderr, "hybridemu: note: -policy %s is ignored for native runs\n", pol)
+		pol = hybridmem.Static
 	}
 
 	opts := []hybridmem.Option{
 		hybridmem.WithScale(sc),
 		hybridmem.WithSeed(*seed),
 		hybridmem.WithMode(md),
+		hybridmem.WithPolicy(pol),
 	}
 	if *l3mb > 0 {
 		opts = append(opts, hybridmem.WithL3MB(*l3mb))
@@ -113,13 +126,21 @@ func main() {
 	if *native {
 		lang = "C++"
 	}
-	fmt.Printf("%s %s x%d (%s, %s, %s scale)\n", lang, *app, *instances, kind, md, sc)
+	fmt.Printf("%s %s x%d (%s, %s, %s scale", lang, *app, *instances, kind, md, sc)
+	if pol != hybridmem.Static {
+		fmt.Printf(", %s policy", pol)
+	}
+	fmt.Println(")")
 	fmt.Printf("  measured iteration:  %.4f s\n", res.Seconds)
 	fmt.Printf("  PCM writes:          %d lines (%.2f MB)\n", res.PCMWriteLines, float64(res.PCMWriteBytes())/1e6)
 	fmt.Printf("  DRAM writes:         %d lines (%.2f MB)\n", res.DRAMWriteLines, float64(res.DRAMWriteBytes())/1e6)
 	fmt.Printf("  PCM write rate:      %.1f MB/s (recommended limit %.0f MB/s)\n",
 		res.PCMRateMBs(), hybridmem.RecommendedRateMBs())
 	fmt.Printf("  QPI traffic:         %d read / %d write lines\n", res.QPI.ReadLines, res.QPI.WriteLines)
+	fmt.Printf("  tier residency:      %d DRAM / %d PCM pages\n", res.DRAMResidentPages, res.PCMResidentPages)
+	if pol != hybridmem.Static {
+		fmt.Printf("  pages migrated:      %d (%d stall cycles)\n", res.PagesMigrated, res.MigrationStallCycles)
+	}
 	if len(res.RuntimeStats) > 0 {
 		s := res.RuntimeStats[0]
 		fmt.Printf("  GCs (instance 0):    %d minor / %d observer / %d full\n",

@@ -7,11 +7,13 @@
 // Usage:
 //
 //	hybridserved [-addr :8080] [-store DIR] [-scale quick|std|full]
-//	             [-seed N] [-max-inflight N] [-drain 30s]
+//	             [-seed N] [-policy NAME] [-max-inflight N] [-drain 30s]
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (streams ndjson),
-// GET /v1/results, GET /healthz, GET /metrics. SIGTERM (or Ctrl-C)
-// drains in-flight requests before exiting.
+// GET /v1/results, GET /v1/policies, GET /healthz, GET /metrics.
+// SIGTERM (or Ctrl-C) drains in-flight requests before exiting.
+// -policy sets the default placement policy; requests override it
+// per run or sweep.
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	storeDir := flag.String("store", "", "durable result store directory (empty = memory-only)")
 	scale := flag.String("scale", "std", "input scale: quick, std, or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	policyName := flag.String("policy", "static", "default placement policy (requests may override)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent platform runs (0 = one per core)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	flag.Parse()
@@ -46,7 +49,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opts := []hybridmem.Option{hybridmem.WithScale(sc), hybridmem.WithSeed(*seed)}
+	pol, err := hybridmem.ParsePolicy(*policyName)
+	if err != nil {
+		fail(err)
+	}
+	opts := []hybridmem.Option{hybridmem.WithScale(sc), hybridmem.WithSeed(*seed), hybridmem.WithPolicy(pol)}
 	if *storeDir != "" {
 		opts = append(opts, hybridmem.WithStore(*storeDir))
 	}

@@ -6,10 +6,16 @@
 // Usage:
 //
 //	paperfigs [-scale quick|std|full] [-seed N] [-only fig7,tableII,...]
+//	          [-policy static|first-touch|write-threshold|wear-level]
 //
 // Scales: quick (CI-sized inputs), std (full DaCapo profiles, 1M-edge
 // graphs, 4x large datasets, 5-app DaCapo subset for the
 // multiprogrammed figures), full (the paper's sizes; slow).
+//
+// -policy re-runs every grid under a dynamic placement policy. The
+// "policies" step — a placement-policy comparison table over the
+// GraphChi workloads — goes beyond the paper's evaluation and only
+// runs when named in -only.
 package main
 
 import (
@@ -29,11 +35,17 @@ func main() {
 	scale := flag.String("scale", "std", "input scale: quick, std, or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "concurrent platform runs (0 = one per core)")
-	only := flag.String("only", "", "comma-separated subset (tableI,tableII,tableIII,fig3,fig4,fig5,fig6,fig7,fig8,ablations)")
+	only := flag.String("only", "", "comma-separated subset (tableI,tableII,tableIII,fig3,fig4,fig5,fig6,fig7,fig8,ablations,policies)")
+	policyName := flag.String("policy", "static", "placement policy the grids run under")
 	storeDir := flag.String("store", "", "durable result store directory: reruns and -only subsets replay finished runs from disk instead of recomputing")
 	flag.Parse()
 
 	sc, err := hybridmem.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(2)
+	}
+	pol, err := hybridmem.ParsePolicy(*policyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
 		os.Exit(2)
@@ -51,8 +63,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Parallelism: *parallel, StoreDir: *storeDir})
-	fmt.Printf("# Paper evaluation regeneration (scale=%s, seed=%d)\n\n", sc, *seed)
+	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Parallelism: *parallel, StoreDir: *storeDir, Policy: pol})
+	fmt.Printf("# Paper evaluation regeneration (scale=%s, seed=%d, policy=%s)\n\n", sc, *seed, pol)
 	start := time.Now()
 	step := func(name string, f func() (string, error)) {
 		if !sel(name) {
@@ -158,6 +170,17 @@ func main() {
 		b.WriteString(fl.Render())
 		return b.String(), nil
 	})
+	// The policy comparison goes beyond the paper's evaluation, so it
+	// only runs when explicitly selected.
+	if want["policies"] {
+		step("policies", func() (string, error) {
+			res, err := r.AblationPolicies(ctx)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		})
+	}
 	cs := r.CacheStats()
 	fmt.Printf("# total: %s (%d computed, %d replayed from memory, %d from store)\n",
 		time.Since(start).Round(time.Second), computed(cs), cs.Hits, cs.DiskHits)

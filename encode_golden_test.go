@@ -36,12 +36,16 @@ func goldenResult() Result {
 		NativeStats: []native.Stats{{
 			Mallocs: 9, Frees: 8, AllocBytes: 7, LiveBytes: 6, PeakBytes: 5, WildernessB: 4,
 		}},
-		AllocBytes:        []uint64{1 << 20, 1 << 19},
-		PeakResidentBytes: []uint64{1 << 22, 1 << 21},
-		ZeroedPages:       55,
-		QPI:               machine.QPIStats{ReadLines: 66, WriteLines: 77},
-		FreeListMaps:      88,
-		FreeListRecycles:  99,
+		AllocBytes:           []uint64{1 << 20, 1 << 19},
+		PeakResidentBytes:    []uint64{1 << 22, 1 << 21},
+		ZeroedPages:          55,
+		QPI:                  machine.QPIStats{ReadLines: 66, WriteLines: 77},
+		FreeListMaps:         88,
+		FreeListRecycles:     99,
+		PagesMigrated:        123,
+		MigrationStallCycles: 456,
+		DRAMResidentPages:    789,
+		PCMResidentPages:     1011,
 	}
 }
 

@@ -67,6 +67,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jvm"
 	"repro/internal/lifetime"
+	"repro/internal/policy"
 	"repro/internal/workloads"
 	"repro/internal/workloads/all"
 )
@@ -141,6 +142,33 @@ func NewApp(name string) App { return all.New(name) }
 // paper's order.
 func Collectors() []Collector {
 	return []Collector{PCMOnly, KGN, KGB, KGNLOO, KGBLOO, KGW, KGWNoLOO, KGWNoMDO}
+}
+
+// Policy is a dynamic-placement policy: it runs at GC-safepoint
+// quanta and decides, per page group of the managed heap, which
+// emulated tier (DRAM or PCM) backs it. Static — the default — is the
+// paper's plan-time tiering with the engine disabled entirely.
+type Policy = policy.Kind
+
+// The built-in placement policies.
+const (
+	// Static fixes every tier at plan construction (the paper's
+	// behavior, bit-identical to a platform without the engine).
+	Static = policy.Static
+	// FirstTouch leaves heap placement to the OS default: pages land
+	// on the node local to the first-touching thread.
+	FirstTouch = policy.FirstTouch
+	// WriteThreshold promotes write-hot PCM page groups to DRAM and
+	// demotes cold DRAM groups under memory pressure.
+	WriteThreshold = policy.WriteThreshold
+	// WearLevel rotates the most-worn PCM page groups onto fresh
+	// frames using the devices' wear histograms.
+	WearLevel = policy.WearLevel
+)
+
+// Policies returns the built-in placement policies in a stable order.
+func Policies() []Policy {
+	return []Policy{Static, FirstTouch, WriteThreshold, WearLevel}
 }
 
 // Scale selects experiment input sizes.

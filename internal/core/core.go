@@ -24,6 +24,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/native"
 	"repro/internal/pcmmon"
+	"repro/internal/policy"
 	"repro/internal/workloads"
 	"repro/internal/workloads/all"
 )
@@ -74,6 +75,11 @@ type Options struct {
 	UnmapFreedChunks bool
 	// TrackWear enables per-page wear histograms on the devices.
 	TrackWear bool
+	// Policy selects the dynamic-placement policy (zero value:
+	// static, the paper's plan-time tiering, engine disabled). It
+	// applies to managed runs; native runs have no GC safepoints for
+	// the engine to hook and ignore it.
+	Policy policy.Config
 	// BootMB overrides the boot-image size (0 = 48 MB). Experiments
 	// that run hundreds of configurations shrink it.
 	BootMB int
@@ -131,6 +137,17 @@ type Result struct {
 	// FreeListMaps/FreeListRecycles aggregate chunk-allocator events.
 	FreeListMaps     uint64
 	FreeListRecycles uint64
+	// PagesMigrated counts pages the placement-policy engine moved
+	// (cross-tier migrations plus wear-leveling rotations).
+	PagesMigrated uint64
+	// MigrationStallCycles is the remap + TLB-shootdown cost the
+	// engine charged to the instances at safepoints.
+	MigrationStallCycles uint64
+	// DRAMResidentPages and PCMResidentPages are the end-of-run
+	// resident pages per emulated tier, summed over instances — the
+	// per-tier residency histogram.
+	DRAMResidentPages uint64
+	PCMResidentPages  uint64
 }
 
 // PCMWriteBytes returns PCM write traffic in bytes.
@@ -150,8 +167,10 @@ func (r Result) PCMRateMBs() float64 {
 	return float64(r.PCMWriteBytes()) / 1e6 / r.Seconds
 }
 
-// machineConfig builds the hardware description for the mode.
-func machineConfig(opts Options) machine.Config {
+// machineConfig builds the hardware description for the mode. native
+// disables the policy engine's counters: native runs take no
+// safepoints, so the tracking would cost hot-path work for nothing.
+func machineConfig(opts Options, native bool) machine.Config {
 	cfg := machine.DefaultConfig()
 	if opts.Mode == Simulation {
 		// The paper's simulated system: 8 out-of-order cores, no
@@ -165,7 +184,10 @@ func machineConfig(opts Options) machine.Config {
 			cfg.L3.Ways /= 2
 		}
 	}
-	cfg.TrackWear = opts.TrackWear
+	pc := opts.Policy.WithDefaults()
+	cfg.TrackWear = opts.TrackWear || (!native && pc.NeedsWear())
+	cfg.TrackWindow = !native && pc.NeedsWindow()
+	cfg.TrackWindowReads = !native && pc.NeedsReadWindow()
 	return cfg
 }
 
@@ -194,8 +216,21 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 		return Result{}, fmt.Errorf("core: unknown application %q", spec.AppName)
 	}
 
-	m := machine.New(machineConfig(opts))
+	m := machine.New(machineConfig(opts, spec.Native))
 	k := kernel.New(m, kernelConfig(opts))
+
+	// The dynamic-placement engine, shared by every instance of the
+	// run. Only migrating policies get one: static means no engine at
+	// all (bit-identical to the pre-policy platform), and first-touch
+	// acts purely through the plan's bindings, so neither pays the
+	// per-safepoint view scan.
+	var eng *policy.Engine
+	if opts.Policy.Migrates() && !spec.Native {
+		var err error
+		if eng, err = policy.NewEngine(opts.Policy); err != nil {
+			return Result{}, err
+		}
+	}
 
 	monCfg := pcmmon.DefaultConfig()
 	monCfg.NoiseNode = opts.MonitorNode
@@ -254,6 +289,9 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 				if err != nil {
 					panic(err)
 				}
+				if eng != nil {
+					rt.Safepoint = func() { eng.OnSafepoint(p, rt.PageMap) }
+				}
 				env := &workloads.ManagedEnv{R: rt}
 				rt.SetIteration(1)
 				app.Run(env, spec.Dataset, seed)
@@ -300,6 +338,18 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 	}
 	res.ZeroedPages = k.ZeroedPages()
 	res.QPI = m.QPI()
+	if eng != nil {
+		es := eng.Stats()
+		res.PagesMigrated = es.PagesMigrated
+		res.MigrationStallCycles = uint64(es.StallCycles + 0.5)
+	}
+	for _, p := range procs {
+		counts := p.AS.Residency(0, kernel.KernelBase)
+		res.DRAMResidentPages += counts[0]
+		if len(counts) > 1 {
+			res.PCMResidentPages += counts[1]
+		}
+	}
 	return res, nil
 }
 
@@ -335,5 +385,6 @@ func buildPlan(opts Options, spec RunSpec, app workloads.App) jvm.Plan {
 		plan.ObserverBytes = uint64(opts.ObserverFactor) * plan.NurseryBytes
 	}
 	plan.UnmapFreedChunks = opts.UnmapFreedChunks
+	plan.FirstTouchHeap = opts.Policy.FirstTouchHeap()
 	return plan
 }

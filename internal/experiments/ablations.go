@@ -6,6 +6,7 @@ import (
 
 	hybridmem "repro"
 	"repro/internal/stats"
+	"repro/internal/workloads"
 )
 
 // AblationL3Result is the cache-size sensitivity of KG-N (§V): the
@@ -193,6 +194,73 @@ func (r *Runner) AblationFreeLists(ctx context.Context, app string) (AblationFre
 		res.Recycles = append(res.Recycles, run.FreeListRecycles)
 	}
 	return res, nil
+}
+
+// AblationPoliciesResult compares the placement policies on the
+// GraphChi workloads under KG-N: the paper's static tiering against
+// first-touch, write-threshold, and wear-level dynamic placement,
+// with the explicit migration costs the engine charges.
+type AblationPoliciesResult struct {
+	Collector hybridmem.Collector
+	Apps      []string
+	Policies  []hybridmem.Policy
+	// Per [policy][app] measurements.
+	PCMWrites     [][]uint64
+	PagesMigrated [][]uint64
+	StallMCycles  [][]float64
+	Seconds       [][]float64
+}
+
+// AblationPolicies sweeps every placement policy over the GraphChi
+// apps through the Sweep policy dimension: one pass per policy, each
+// pass batched in parallel across host cores.
+func (r *Runner) AblationPolicies(ctx context.Context) (AblationPoliciesResult, error) {
+	res := AblationPoliciesResult{
+		Collector: hybridmem.KGN,
+		Apps:      r.suiteApps(workloads.GraphChi),
+		Policies:  hybridmem.Policies(),
+	}
+	sweep := hybridmem.NewSweep(res.Apps...).
+		Collectors(res.Collector).
+		Policies(res.Policies...)
+	results, err := r.p.RunSweep(ctx, sweep)
+	if err != nil {
+		return res, err
+	}
+	n := len(sweep.Specs())
+	for pi := range res.Policies {
+		var pcm, mig []uint64
+		var stall, secs []float64
+		for ai := range res.Apps {
+			run := results[pi*n+ai]
+			pcm = append(pcm, run.PCMWriteLines)
+			mig = append(mig, run.PagesMigrated)
+			stall = append(stall, float64(run.MigrationStallCycles)/1e6)
+			secs = append(secs, run.Seconds)
+		}
+		res.PCMWrites = append(res.PCMWrites, pcm)
+		res.PagesMigrated = append(res.PagesMigrated, mig)
+		res.StallMCycles = append(res.StallMCycles, stall)
+		res.Seconds = append(res.Seconds, secs)
+	}
+	return res, nil
+}
+
+// Render renders the policy comparison.
+func (a AblationPoliciesResult) Render() string {
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablation: placement policies (GraphChi, %s)", a.Collector),
+		"policy", "app", "PCM writes", "pages migrated", "stall (Mcycles)", "time (s)")
+	for pi, pol := range a.Policies {
+		for ai, app := range a.Apps {
+			tb.AddRow(pol.String(), app,
+				fmt.Sprint(a.PCMWrites[pi][ai]),
+				fmt.Sprint(a.PagesMigrated[pi][ai]),
+				fmt.Sprintf("%.2f", a.StallMCycles[pi][ai]),
+				fmt.Sprintf("%.4f", a.Seconds[pi][ai]))
+		}
+	}
+	return tb.String()
 }
 
 // Render renders the comparison.

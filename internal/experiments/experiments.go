@@ -45,6 +45,11 @@ type Config struct {
 	// regenerating the same figures twice recomputes nothing, and an
 	// interrupted regeneration resumes where it stopped.
 	StoreDir string
+	// Policy is the platform's placement policy (Static reproduces
+	// the paper; other policies re-run the grids under dynamic
+	// placement). The policy-comparison ablation sweeps all policies
+	// regardless.
+	Policy hybridmem.Policy
 }
 
 // dacapoApps returns the DaCapo names an experiment iterates: a
@@ -76,6 +81,9 @@ func NewRunner(cfg Config) *Runner {
 		hybridmem.WithScale(cfg.Scale),
 		hybridmem.WithSeed(cfg.Seed + 1),
 		hybridmem.WithParallelism(cfg.Parallelism),
+	}
+	if cfg.Policy != hybridmem.Static {
+		opts = append(opts, hybridmem.WithPolicy(cfg.Policy))
 	}
 	if cfg.StoreDir != "" {
 		opts = append(opts, hybridmem.WithStore(cfg.StoreDir))

@@ -1,0 +1,100 @@
+package heap
+
+import "fmt"
+
+// Placement-policy granularity: policies decide per page group, not
+// per 4 KB page, so one decision amortizes its TLB shootdown over
+// sixteen pages.
+const (
+	// PageGroupPages is the number of 4 KB pages in one policy group.
+	PageGroupPages = 16
+	// PageGroupBytes is the byte span of one policy group (64 KB).
+	PageGroupBytes = PageGroupPages * PageBytes
+)
+
+// TierUnknown marks a page group whose tier has not been decided —
+// under the first-touch policy the OS places it on the faulting
+// thread's node, and the map learns nothing until a policy sets it.
+const TierUnknown = -1
+
+// PageMap is the mutable page-group→tier map of one process's managed
+// heap. It replaces the static resolution of a plan's SocketBinding:
+// the runtime seeds it from the plan's Table I row at boot, and the
+// placement-policy engine both reads it (a group's current tier
+// intent) and rewrites it as it migrates groups between the emulated
+// DRAM and PCM devices. It is not safe for concurrent use; the
+// cooperative kernel guarantees a single runner.
+type PageMap struct {
+	lo, hi uint64
+	nodes  []int8 // per-group tier, TierUnknown until decided
+}
+
+// NewPageMap returns a map covering [lo, hi) with every group's tier
+// unknown. The range is rounded outward to group boundaries.
+func NewPageMap(lo, hi uint64) *PageMap {
+	if lo >= hi {
+		panic(fmt.Sprintf("heap: empty page map range [%#x,%#x)", lo, hi))
+	}
+	lo &^= uint64(PageGroupBytes - 1)
+	hi = (hi + PageGroupBytes - 1) &^ uint64(PageGroupBytes-1)
+	pm := &PageMap{lo: lo, hi: hi, nodes: make([]int8, (hi-lo)/PageGroupBytes)}
+	for i := range pm.nodes {
+		pm.nodes[i] = TierUnknown
+	}
+	return pm
+}
+
+// Lo returns the bottom of the mapped range.
+func (pm *PageMap) Lo() uint64 { return pm.lo }
+
+// Hi returns the end (exclusive) of the mapped range.
+func (pm *PageMap) Hi() uint64 { return pm.hi }
+
+// Groups returns the number of page groups the map covers.
+func (pm *PageMap) Groups() int { return len(pm.nodes) }
+
+// GroupAddr returns the base address of the i-th group.
+func (pm *PageMap) GroupAddr(i int) uint64 {
+	return pm.lo + uint64(i)*PageGroupBytes
+}
+
+// Node returns the tier of the group holding addr, or TierUnknown for
+// undecided groups and addresses outside the range.
+func (pm *PageMap) Node(addr uint64) int {
+	if addr < pm.lo || addr >= pm.hi {
+		return TierUnknown
+	}
+	return int(pm.nodes[(addr-pm.lo)/PageGroupBytes])
+}
+
+// SetRange assigns every group overlapping [start, end) to node. The
+// range is rounded outward to group boundaries; later assignments win,
+// which is how a migration retargets groups a plan bound statically.
+func (pm *PageMap) SetRange(start, end uint64, node int) {
+	if end <= pm.lo || start >= pm.hi {
+		return
+	}
+	if start < pm.lo {
+		start = pm.lo
+	}
+	if end > pm.hi {
+		end = pm.hi
+	}
+	first := (start - pm.lo) / PageGroupBytes
+	last := (end - 1 - pm.lo) / PageGroupBytes
+	for i := first; i <= last; i++ {
+		pm.nodes[i] = int8(node)
+	}
+}
+
+// Residency counts the map's groups per tier. Unknown groups are not
+// counted (maxNode bounds the histogram length).
+func (pm *PageMap) Residency(maxNode int) []int {
+	counts := make([]int, maxNode+1)
+	for _, n := range pm.nodes {
+		if n >= 0 && int(n) <= maxNode {
+			counts[n]++
+		}
+	}
+	return counts
+}

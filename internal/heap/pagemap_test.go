@@ -1,0 +1,62 @@
+package heap
+
+import "testing"
+
+func TestPageMapSeedAndRetarget(t *testing.T) {
+	pm := NewPageMap(HeapBase, DefaultDRAMEnd)
+	if pm.Lo() != HeapBase || pm.Hi() != DefaultDRAMEnd {
+		t.Fatalf("range = [%#x,%#x)", pm.Lo(), pm.Hi())
+	}
+	if got := pm.Node(HeapBase); got != TierUnknown {
+		t.Errorf("fresh group tier = %d, want unknown", got)
+	}
+
+	// The static seeding: PCM portion to node 1, DRAM portion to 0.
+	pm.SetRange(HeapBase, DefaultPCMEnd, 1)
+	pm.SetRange(DefaultPCMEnd, DefaultDRAMEnd, 0)
+	if got := pm.Node(DefaultPCMEnd - 1); got != 1 {
+		t.Errorf("PCM-portion tier = %d, want 1", got)
+	}
+	if got := pm.Node(DefaultPCMEnd); got != 0 {
+		t.Errorf("DRAM-portion tier = %d, want 0", got)
+	}
+
+	// A migration retargets one group; its neighbors keep their tier.
+	addr := uint64(HeapBase + 5*PageGroupBytes)
+	pm.SetRange(addr, addr+PageGroupBytes, 0)
+	if got := pm.Node(addr); got != 0 {
+		t.Errorf("migrated group tier = %d, want 0", got)
+	}
+	if got := pm.Node(addr - 1); got != 1 {
+		t.Errorf("neighbor below changed tier: %d", got)
+	}
+	if got := pm.Node(addr + PageGroupBytes); got != 1 {
+		t.Errorf("neighbor above changed tier: %d", got)
+	}
+
+	res := pm.Residency(1)
+	if res[0]+res[1] != pm.Groups() {
+		t.Errorf("residency %v does not cover all %d groups", res, pm.Groups())
+	}
+	if res[0] == 0 || res[1] == 0 {
+		t.Errorf("residency %v should count both tiers", res)
+	}
+}
+
+func TestPageMapOutOfRange(t *testing.T) {
+	pm := NewPageMap(HeapBase, HeapBase+4*PageGroupBytes)
+	if got := pm.Node(HeapBase - 1); got != TierUnknown {
+		t.Errorf("below range = %d, want unknown", got)
+	}
+	if got := pm.Node(pm.Hi()); got != TierUnknown {
+		t.Errorf("at end = %d, want unknown", got)
+	}
+	// Clamped, partial, and disjoint SetRanges stay safe.
+	pm.SetRange(0, 1<<40, 1)
+	pm.SetRange(pm.Hi(), pm.Hi()+PageGroupBytes, 0)
+	for i := 0; i < pm.Groups(); i++ {
+		if got := pm.Node(pm.GroupAddr(i)); got != 1 {
+			t.Errorf("group %d = %d, want 1", i, got)
+		}
+	}
+}

@@ -179,6 +179,11 @@ func (r *Runtime) collectYoung() {
 	r.nursery.Reset()
 
 	r.fixupRemsets(evac, promoted)
+	// The collection's safepoint quantum: the placement-policy engine
+	// migrates page groups while the world is still stopped.
+	if r.Safepoint != nil {
+		r.Safepoint()
+	}
 }
 
 // promoteNursery copies one surviving nursery object to its plan
@@ -369,6 +374,9 @@ func (r *Runtime) collectFull() {
 	// Re-derive the paper's 2x-minimum heap sizing from the live set.
 	if live := 2 * r.matureUsed(); live > r.Plan.HeapBytes {
 		r.dynBudget = live
+	}
+	if r.Safepoint != nil {
+		r.Safepoint()
 	}
 }
 

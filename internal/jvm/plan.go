@@ -122,6 +122,11 @@ type Plan struct {
 	// chunks are returned to the OS instead of recycled through the
 	// free lists (the alternative the paper's Fig 1 design rejects).
 	UnmapFreedChunks bool
+	// FirstTouchHeap overrides the heap spaces' explicit NUMA
+	// bindings with the OS first-touch policy (the placement engine's
+	// first-touch policy); boot, metadata, and remset regions keep
+	// their Table I bindings.
+	FirstTouchHeap bool
 }
 
 // PlanConfig are the per-workload knobs of a plan.

@@ -46,6 +46,14 @@ type Runtime struct {
 	Table  *objmodel.Table
 	Stats  Stats
 
+	// PageMap is the mutable page-group→tier map of the managed heap,
+	// seeded from the plan's bindings and rewritten by the placement
+	// engine as it migrates groups.
+	PageMap *heap.PageMap
+	// Safepoint, when set, runs at the end of every collection — the
+	// GC-safepoint quantum the placement-policy engine hooks.
+	Safepoint func()
+
 	flLo *heap.FreeList
 	flHi *heap.FreeList
 
@@ -107,6 +115,14 @@ func NewRuntime(proc *kernel.Process, plan Plan) (*Runtime, error) {
 		}
 		return def
 	}
+	// heapBind resolves the binding of a managed-heap space, which the
+	// first-touch placement policy leaves to the OS.
+	heapBind := func(s objmodel.SpaceID, def int) int {
+		if plan.FirstTouchHeap {
+			return kernel.NodeFirstTouch
+		}
+		return bind(s, def)
+	}
 
 	// Boot space, below the heap.
 	r.boot, err = heap.NewContiguousSpace(objmodel.SpaceBoot,
@@ -144,13 +160,13 @@ func NewRuntime(proc *kernel.Process, plan Plan) (*Runtime, error) {
 	// The nursery is reserved at boot time at one end of virtual
 	// memory, enabling the fast boundary write barrier.
 	r.nursery, err = heap.NewContiguousSpace(objmodel.SpaceNursery,
-		layout.NurseryStart, layout.DRAMEnd, bind(objmodel.SpaceNursery, DRAMSocket), mem)
+		layout.NurseryStart, layout.DRAMEnd, heapBind(objmodel.SpaceNursery, DRAMSocket), mem)
 	if err != nil {
 		return nil, err
 	}
 	if plan.UseObserver {
 		r.observer, err = heap.NewContiguousSpace(objmodel.SpaceObserver,
-			layout.ObserverStart, layout.NurseryStart, bind(objmodel.SpaceObserver, DRAMSocket), mem)
+			layout.ObserverStart, layout.NurseryStart, heapBind(objmodel.SpaceObserver, DRAMSocket), mem)
 		if err != nil {
 			return nil, err
 		}
@@ -159,9 +175,9 @@ func NewRuntime(proc *kernel.Process, plan Plan) (*Runtime, error) {
 	// The two free lists of Fig 1, each binding its chunks to its
 	// portion's socket.
 	r.flLo = heap.NewFreeList("lo", layout.PCMStart, layout.PCMEnd,
-		bind(objmodel.SpaceMaturePCM, PCMSocket), mem)
+		heapBind(objmodel.SpaceMaturePCM, PCMSocket), mem)
 	r.flHi = heap.NewFreeList("hi", layout.PCMEnd, layout.ChunkedHiEnd,
-		bind(objmodel.SpaceMatureDRAM, DRAMSocket), mem)
+		heapBind(objmodel.SpaceMatureDRAM, DRAMSocket), mem)
 	r.flLo.UnmapOnRelease = plan.UnmapFreedChunks
 	r.flHi.UnmapOnRelease = plan.UnmapFreedChunks
 
@@ -170,6 +186,20 @@ func NewRuntime(proc *kernel.Process, plan Plan) (*Runtime, error) {
 	if plan.HasDRAMSide() {
 		r.matureDRAM = heap.NewChunkedSpace(objmodel.SpaceMatureDRAM, r.flHi, heap.LineBytes)
 		r.largeDRAM = heap.NewChunkedSpace(objmodel.SpaceLargeDRAM, r.flHi, heap.PageBytes)
+	}
+
+	// The page→tier map: the plan's Table I row materialized per page
+	// group, mutable thereafter by the placement engine. Under
+	// first-touch the tiers start unknown and are learned as the OS
+	// places pages.
+	r.PageMap = heap.NewPageMap(layout.PCMStart, layout.DRAMEnd)
+	if !plan.FirstTouchHeap {
+		r.PageMap.SetRange(layout.PCMStart, layout.PCMEnd, bind(objmodel.SpaceMaturePCM, PCMSocket))
+		r.PageMap.SetRange(layout.PCMEnd, layout.DRAMEnd, bind(objmodel.SpaceMatureDRAM, DRAMSocket))
+		r.PageMap.SetRange(layout.NurseryStart, layout.DRAMEnd, bind(objmodel.SpaceNursery, DRAMSocket))
+		if plan.UseObserver {
+			r.PageMap.SetRange(layout.ObserverStart, layout.NurseryStart, bind(objmodel.SpaceObserver, DRAMSocket))
+		}
 	}
 
 	r.loadBootImage()

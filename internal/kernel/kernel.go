@@ -68,16 +68,25 @@ type Config struct {
 	// workload runs on, matching the paper's observation that system
 	// activity shows up on the local socket).
 	NoiseNode int
+	// MigrationPageCycles is the per-page CPU cost of MovePages: the
+	// unmap/remap bookkeeping around the copy (the copy traffic itself
+	// is charged to the memory devices).
+	MigrationPageCycles float64
+	// TLBShootdownCycles is the cost of the inter-processor TLB
+	// shootdown a MovePages batch triggers, charged once per batch.
+	TLBShootdownCycles float64
 }
 
 // DefaultConfig returns the OS model used by the emulator pipeline.
 func DefaultConfig() Config {
 	return Config{
-		EmulateOS:       true,
-		PageFaultCycles: 2500,
-		NoisePeriodSec:  0.001, // 1 kHz tick
-		NoiseLines:      24,
-		NoiseNode:       0,
+		EmulateOS:           true,
+		PageFaultCycles:     2500,
+		NoisePeriodSec:      0.001, // 1 kHz tick
+		NoiseLines:          24,
+		NoiseNode:           0,
+		MigrationPageCycles: 1200,
+		TLBShootdownCycles:  4000,
 	}
 }
 
@@ -236,10 +245,17 @@ func (as *AddressSpace) MUnmap(start, length uint64) error {
 	if !found {
 		return fmt.Errorf("kernel: munmap of unmapped range %#x+%#x", start, length)
 	}
+	mcfg := as.k.m.Config()
 	for vpn := start / PageSize; vpn < end/PageSize; vpn++ {
 		if enc := as.pages[vpn]; enc != 0 {
 			pa := enc - 1
-			as.k.frames[as.k.homeNodeOf(pa)].release(pa)
+			node := as.k.homeNodeOf(pa)
+			as.k.frames[node].release(pa)
+			if mcfg.TrackWindow {
+				// A released frame must not carry its old owner's
+				// window heat to whoever faults it in next.
+				as.k.m.Node(node).ClearWindowPage(pa % mcfg.NodeBytes)
+			}
 			as.pages[vpn] = 0
 			as.Resident--
 		}
@@ -250,6 +266,48 @@ func (as *AddressSpace) MUnmap(start, length uint64) error {
 // homeNodeOf is a helper the kernel needs from the machine.
 func (k *Kernel) homeNodeOf(pa uint64) int {
 	return int(pa / k.m.Config().NodeBytes)
+}
+
+// Lookup translates va without faulting: ok reports whether the page
+// is resident, and pa is its physical address when it is. The
+// placement-policy engine uses it to observe placement without
+// perturbing it.
+func (as *AddressSpace) Lookup(va uint64) (pa uint64, ok bool) {
+	if enc := as.pages[va>>PageShift]; enc != 0 {
+		return (enc - 1) | (va & (PageSize - 1)), true
+	}
+	return 0, false
+}
+
+// MappedRanges calls fn for every mapped region overlapping [lo, hi),
+// clipped to it. The placement engine uses it to scan only the mapped
+// fraction of the heap instead of the whole virtual range. Ranges are
+// reported in mapping order, which is not address order.
+func (as *AddressSpace) MappedRanges(lo, hi uint64, fn func(start, end uint64)) {
+	for _, v := range as.vmas {
+		s, e := v.start, v.end
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if s < e {
+			fn(s, e)
+		}
+	}
+}
+
+// Residency counts the resident pages of [lo, hi) per NUMA node — the
+// per-tier residency histogram reported at the end of a run.
+func (as *AddressSpace) Residency(lo, hi uint64) []uint64 {
+	counts := make([]uint64, as.k.m.Nodes())
+	for vpn := lo / PageSize; vpn < hi/PageSize; vpn++ {
+		if enc := as.pages[vpn]; enc != 0 {
+			counts[as.k.homeNodeOf(enc-1)]++
+		}
+	}
+	return counts
 }
 
 // translate returns the PA for va, faulting it in if needed. The

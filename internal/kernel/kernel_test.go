@@ -310,3 +310,121 @@ func TestOOMIsReported(t *testing.T) {
 		t.Errorf("err = %v, want OOM", err)
 	}
 }
+
+func TestLookupDoesNotFault(t *testing.T) {
+	k := New(testMachine(), simOS())
+	p := k.NewProcess("t", 0, func(p *Process) {
+		if err := p.AS.MMap(0x10000000, 1<<20, 0); err != nil {
+			t.Errorf("mmap: %v", err)
+		}
+		if _, ok := p.AS.Lookup(0x10000000); ok {
+			t.Error("Lookup reported an untouched page resident")
+		}
+		if p.AS.Resident != 0 {
+			t.Error("Lookup faulted a page in")
+		}
+		p.Access(0x10000000, 8, true)
+		pa, ok := p.AS.Lookup(0x10000000 + 8)
+		if !ok {
+			t.Error("Lookup missed a resident page")
+		}
+		if pa%PageSize != 8 {
+			t.Errorf("Lookup offset = %d, want 8", pa%PageSize)
+		}
+	})
+	if err := k.RunSolo(p, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovePagesMigratesAndCharges(t *testing.T) {
+	m := testMachine()
+	cfg := simOS()
+	cfg.MigrationPageCycles = 1000
+	cfg.TLBShootdownCycles = 5000
+	k := New(m, cfg)
+	p := k.NewProcess("t", 0, func(p *Process) {
+		const base, length = uint64(0x10000000), uint64(16 * PageSize)
+		if err := p.AS.MMap(base, length, 1); err != nil {
+			t.Errorf("mmap: %v", err)
+		}
+		for off := uint64(0); off < length; off += PageSize {
+			p.Access(base+off, 8, true)
+		}
+		if got := p.AS.Residency(base, base+length); got[1] != 16 || got[0] != 0 {
+			t.Fatalf("residency before = %v, want [0 16]", got)
+		}
+		before := p.Th.Cycles()
+		r0Writes := m.Node(0).WriteLines()
+		r1Reads := m.Node(1).ReadLines()
+
+		moved, stall, err := p.MovePages(base, length, 1, 0)
+		if err != nil {
+			t.Fatalf("MovePages: %v", err)
+		}
+		if moved != 16 {
+			t.Errorf("moved = %d, want 16", moved)
+		}
+		if want := 1000.0*16 + 5000; stall != want {
+			t.Errorf("stall = %v, want %v", stall, want)
+		}
+		if p.Th.Cycles()-before < stall {
+			t.Error("stall cycles were not charged to the thread")
+		}
+		if got := p.AS.Residency(base, base+length); got[0] != 16 || got[1] != 0 {
+			t.Errorf("residency after = %v, want [16 0]", got)
+		}
+		// The copy traffic: 64 lines read per page on the source, 64
+		// written per page on the destination.
+		if got := m.Node(1).ReadLines() - r1Reads; got != 16*64 {
+			t.Errorf("source reads = %d, want %d", got, 16*64)
+		}
+		if got := m.Node(0).WriteLines() - r0Writes; got != 16*64 {
+			t.Errorf("destination writes = %d, want %d", got, 16*64)
+		}
+		// Pages already on the destination are left alone.
+		moved, stall, err = p.MovePages(base, length, 1, 0)
+		if err != nil || moved != 0 || stall != 0 {
+			t.Errorf("second MovePages = (%d, %v, %v), want (0, 0, nil)", moved, stall, err)
+		}
+	})
+	if err := k.RunSolo(p, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovePagesRotationChangesFrames(t *testing.T) {
+	k := New(testMachine(), simOS())
+	p := k.NewProcess("t", 0, func(p *Process) {
+		const base = uint64(0x10000000)
+		if err := p.AS.MMap(base, 4*PageSize, 1); err != nil {
+			t.Errorf("mmap: %v", err)
+		}
+		for off := uint64(0); off < 4*PageSize; off += PageSize {
+			p.Access(base+off, 8, true)
+		}
+		before := make([]uint64, 4)
+		for i := range before {
+			before[i], _ = p.AS.Lookup(base + uint64(i)*PageSize)
+		}
+		moved, _, err := p.MovePages(base, 4*PageSize, 1, 1)
+		if err != nil || moved != 4 {
+			t.Fatalf("rotate = (%d, %v), want (4, nil)", moved, err)
+		}
+		for i := range before {
+			after, ok := p.AS.Lookup(base + uint64(i)*PageSize)
+			if !ok {
+				t.Fatalf("page %d unmapped by rotation", i)
+			}
+			if after == before[i] {
+				t.Errorf("page %d kept its frame %#x after rotation", i, after)
+			}
+			if k.homeNodeOf(after) != 1 {
+				t.Errorf("page %d left node 1", i)
+			}
+		}
+	})
+	if err := k.RunSolo(p, RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -116,6 +116,63 @@ func (p *Process) Compute(n int) {
 	p.maybeYield()
 }
 
+// MovePages migrates the resident pages of [start, start+length)
+// whose frames live on node from to fresh frames on node to — a
+// batched move_pages(2)/migrate_pages(2). from == to reallocates each
+// matching page onto a different frame of the same node, which is the
+// wear-leveling rotation. Old frames are released only after the
+// whole batch has allocated, so a rotation cannot recirculate the
+// batch's own worn frames — they return to the pool for other users.
+//
+// The page copies are charged as device-level traffic on both memory
+// controllers (MigratePage); the calling process is charged the
+// per-page remap cost plus one TLB shootdown per batch, and the total
+// charged stall cycles are returned for accounting. Pages on other
+// nodes, and non-resident pages, are untouched. A destination node
+// out of physical memory stops the batch early and returns the error
+// alongside the pages already moved.
+func (p *Process) MovePages(start, length uint64, from, to int) (moved int, stallCycles float64, err error) {
+	k := p.k
+	if from < 0 || from >= k.m.Nodes() || to < 0 || to >= k.m.Nodes() {
+		return 0, 0, fmt.Errorf("kernel: move_pages to invalid node %d->%d", from, to)
+	}
+	if length == 0 || start%PageSize != 0 || length%PageSize != 0 {
+		return 0, 0, fmt.Errorf("kernel: move_pages of unaligned range %#x+%#x", start, length)
+	}
+	end := start + length
+	if end > KernelBase {
+		return 0, 0, fmt.Errorf("kernel: move_pages into kernel range %#x+%#x", start, length)
+	}
+	var released []uint64
+	for vpn := start / PageSize; vpn < end/PageSize; vpn++ {
+		enc := p.AS.pages[vpn]
+		if enc == 0 {
+			continue
+		}
+		pa := enc - 1
+		if k.homeNodeOf(pa) != from {
+			continue
+		}
+		npa, aerr := k.frames[to].alloc()
+		if aerr != nil {
+			err = aerr
+			break
+		}
+		k.m.MigratePage(pa, npa)
+		released = append(released, pa)
+		p.AS.pages[vpn] = npa + 1
+		moved++
+	}
+	for _, pa := range released {
+		k.frames[from].release(pa)
+	}
+	if moved > 0 {
+		stallCycles = k.cfg.MigrationPageCycles*float64(moved) + k.cfg.TLBShootdownCycles
+		p.Th.ComputeCycles(stallCycles)
+	}
+	return moved, stallCycles, err
+}
+
 // Barrier blocks the process until every other live process has also
 // reached a barrier. The replay-compilation harness uses it to start
 // the measured iteration of all multiprogrammed instances at the same

@@ -54,16 +54,18 @@ func DefaultCosts() Costs {
 
 // Config describes the platform.
 type Config struct {
-	Sockets        int
-	CoresPerSocket int
-	SMT            bool    // hyperthreading available (16 logical cores/socket pair)
-	FreqHz         float64 // core frequency
-	NodeBytes      uint64  // memory capacity per socket
-	L1             cache.Config
-	L2             cache.Config
-	L3             cache.Config
-	Costs          Costs
-	TrackWear      bool // enable per-page wear histograms on the nodes
+	Sockets          int
+	CoresPerSocket   int
+	SMT              bool    // hyperthreading available (16 logical cores/socket pair)
+	FreqHz           float64 // core frequency
+	NodeBytes        uint64  // memory capacity per socket
+	L1               cache.Config
+	L2               cache.Config
+	L3               cache.Config
+	Costs            Costs
+	TrackWear        bool // enable per-page wear histograms on the nodes
+	TrackWindow      bool // enable per-page write window counters
+	TrackWindowReads bool // additionally count reads in the window
 }
 
 // DefaultConfig is the paper's platform: 2 sockets x 8 cores x 2 HT,
@@ -131,9 +133,11 @@ func New(cfg Config) *Machine {
 			kind = memdev.PCM
 		}
 		m.nodes = append(m.nodes, memdev.New(memdev.Config{
-			Kind:      kind,
-			Bytes:     cfg.NodeBytes,
-			TrackWear: cfg.TrackWear,
+			Kind:             kind,
+			Bytes:            cfg.NodeBytes,
+			TrackWear:        cfg.TrackWear,
+			TrackWindow:      cfg.TrackWindow,
+			TrackWindowReads: cfg.TrackWindowReads,
 		}))
 		sk := socket{l3: cache.New(cfg.L3)}
 		for c := 0; c < cfg.CoresPerSocket; c++ {
@@ -179,6 +183,28 @@ func (m *Machine) memWrite(fromSocket int, pa uint64) {
 	if node != fromSocket {
 		m.qpi.WriteLines++
 	}
+}
+
+// MigratePage copies one 4 KB page between physical frames at device
+// level — the kernel's non-temporal page-migration copy, which streams
+// past the caches. Both memory controllers count the traffic, and a
+// cross-socket copy crosses the interconnect once (counted on the QPI
+// read side, as the data leaves the source socket). Lines of the old
+// frame still resident in a cache are not invalidated; a later
+// writeback of such a line lands on the frame's next owner, which is
+// the same aliasing a real migration without cache flushing exhibits.
+func (m *Machine) MigratePage(srcPA, dstPA uint64) {
+	const lines = 4096 / LineSize
+	sn, dn := m.homeNode(srcPA), m.homeNode(dstPA)
+	m.nodes[sn].Read(srcPA%m.cfg.NodeBytes, lines)
+	m.nodes[dn].Write(dstPA%m.cfg.NodeBytes, lines)
+	if sn != dn {
+		m.qpi.ReadLines += lines
+	}
+	// Neither the released frame's stale heat nor the copy's own
+	// writes should read as mutator heat next quantum.
+	m.nodes[sn].ClearWindowPage(srcPA % m.cfg.NodeBytes)
+	m.nodes[dn].ClearWindowPage(dstPA % m.cfg.NodeBytes)
 }
 
 // memRead routes a line fill from its home node.

@@ -96,3 +96,82 @@ func TestWriteAdditivityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWindowCountersTrackAndReset(t *testing.T) {
+	d := New(Config{Kind: PCM, Bytes: 1 << 30, TrackWindow: true, TrackWindowReads: true})
+	d.Write(0, 3)      // 3 lines on page 0
+	d.Write(4096, 1)   // 1 line on page 1
+	d.Read(4096, 2)    // 2 line reads on page 1
+	d.Write(8<<20, 64) // a whole page, far away (own chunk)
+	if got := d.WindowWrites(0); got != 3 {
+		t.Errorf("WindowWrites(page 0) = %d, want 3", got)
+	}
+	if got := d.WindowWrites(4096); got != 1 {
+		t.Errorf("WindowWrites(page 1) = %d, want 1", got)
+	}
+	if got := d.WindowReads(4096); got != 2 {
+		t.Errorf("WindowReads(page 1) = %d, want 2", got)
+	}
+	if got := d.WindowWrites(8 << 20); got != 64 {
+		t.Errorf("WindowWrites(distant page) = %d, want 64", got)
+	}
+	if got := d.WindowWrites(16 << 20); got != 0 {
+		t.Errorf("untouched page window = %d, want 0", got)
+	}
+	d.ResetWindow()
+	for _, off := range []uint64{0, 4096, 8 << 20} {
+		if d.WindowWrites(off) != 0 || d.WindowReads(off) != 0 {
+			t.Errorf("window at %#x not reset", off)
+		}
+	}
+	// The cumulative controller counters are unaffected by the reset.
+	if d.WriteLines() != 68 || d.ReadLines() != 2 {
+		t.Errorf("cumulative counters disturbed: %d writes, %d reads", d.WriteLines(), d.ReadLines())
+	}
+}
+
+func TestWindowDisabledIsFree(t *testing.T) {
+	d := New(Config{Kind: DRAM, Bytes: 1 << 30})
+	d.Write(0, 5)
+	d.Read(0, 5)
+	if d.WindowWrites(0) != 0 || d.WindowReads(0) != 0 {
+		t.Error("window counters active without TrackWindow")
+	}
+}
+
+func TestPageWear(t *testing.T) {
+	d := New(Config{Kind: PCM, Bytes: 16 * 4096, TrackWear: true})
+	d.Write(2*4096, 7)
+	if got := d.PageWear(2*4096 + 100); got != 7 {
+		t.Errorf("PageWear = %d, want 7", got)
+	}
+	if got := d.PageWear(0); got != 0 {
+		t.Errorf("PageWear(untouched) = %d, want 0", got)
+	}
+	// Out of range stays safe and zero.
+	if got := d.PageWear(1 << 40); got != 0 {
+		t.Errorf("PageWear(out of range) = %d, want 0", got)
+	}
+}
+
+func TestTakeWindowIsDestructivePerPage(t *testing.T) {
+	d := New(Config{Kind: PCM, Bytes: 1 << 30, TrackWindow: true})
+	d.Write(0, 3)
+	d.Write(4096, 5)
+	w, r := d.TakeWindow(0)
+	if w != 3 || r != 0 {
+		t.Errorf("TakeWindow(page 0) = (%d, %d), want (3, 0)", w, r)
+	}
+	if d.WindowWrites(0) != 0 {
+		t.Error("TakeWindow did not consume page 0")
+	}
+	// Other pages keep their counters: one consumer's read must not
+	// clear another page's signal.
+	if got := d.WindowWrites(4096); got != 5 {
+		t.Errorf("page 1 window = %d, want 5 after taking page 0", got)
+	}
+	d.ClearWindowPage(4096)
+	if d.WindowWrites(4096) != 0 {
+		t.Error("ClearWindowPage left the counter")
+	}
+}

@@ -1,0 +1,267 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/heap"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+// testStack builds a small machine+kernel pair with the tracking the
+// config asks for.
+func testStack(cfg Config) (*machine.Machine, *kernel.Kernel) {
+	mc := machine.DefaultConfig()
+	mc.NodeBytes = 256 << 20
+	mc.L1 = cache.Config{Name: "L1", Bytes: 1 << 10, Ways: 2}
+	mc.L2 = cache.Config{Name: "L2", Bytes: 4 << 10, Ways: 4}
+	mc.L3 = cache.Config{Name: "L3", Bytes: 16 << 10, Ways: 4}
+	mc.TrackWindow = cfg.NeedsWindow()
+	mc.TrackWear = cfg.NeedsWear()
+	m := machine.New(mc)
+	kc := kernel.Config{EmulateOS: false, MigrationPageCycles: 1000, TLBShootdownCycles: 4000}
+	return m, kernel.New(m, kc)
+}
+
+func TestKindStringsAndDescriptions(t *testing.T) {
+	want := map[Kind]string{
+		Static:         "static",
+		FirstTouch:     "first-touch",
+		WriteThreshold: "write-threshold",
+		WearLevel:      "wear-level",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+		if k.Description() == "" {
+			t.Errorf("%v has no description", k)
+		}
+	}
+}
+
+func TestConfigKeyStability(t *testing.T) {
+	if got := (Config{}).Key(); got != "static" {
+		t.Errorf("zero config key = %q, want static", got)
+	}
+	a := Config{Kind: WriteThreshold}.Key()
+	b := Config{Kind: WriteThreshold}.WithDefaults().Key()
+	if a != b {
+		t.Errorf("default knobs change the key: %q vs %q", a, b)
+	}
+	c := Config{Kind: WriteThreshold, HotWriteLines: 9}.Key()
+	if a == c {
+		t.Error("different knobs must produce different keys")
+	}
+}
+
+func TestNewEngineRejectsStatic(t *testing.T) {
+	if _, err := NewEngine(Config{Kind: Static}); err == nil {
+		t.Error("static must not construct an engine")
+	}
+	if _, err := NewEngine(Config{Kind: WriteThreshold}); err != nil {
+		t.Errorf("write-threshold engine: %v", err)
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	Register(WearLevel.String(), func() Policy { return wearLevelPolicy{} })
+}
+
+func TestWriteThresholdPromotesHotPCMGroups(t *testing.T) {
+	cfg := Config{Kind: WriteThreshold, HotWriteLines: 100}
+	_, k := testStack(cfg)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = uint64(heap.HeapBase)
+	pm := heap.NewPageMap(base, base+4*heap.PageGroupBytes)
+	pm.SetRange(base, base+4*heap.PageGroupBytes, PCMNode)
+
+	var after []uint64
+	p := k.NewProcess("t", 0, func(p *kernel.Process) {
+		if err := p.AS.MMap(base, 4*heap.PageGroupBytes, PCMNode); err != nil {
+			panic(err)
+		}
+		// Group 0 is hot: stream writes over all of it, repeatedly, so
+		// the writebacks reach the device. Group 2 is touched once.
+		for i := 0; i < 8; i++ {
+			p.AccessLines(base, heap.PageGroupBytes/64, true)
+		}
+		p.Access(base+2*heap.PageGroupBytes, 8, true)
+		p.Kernel().Machine().DrainCaches()
+		eng.OnSafepoint(p, pm)
+		after = p.AS.Residency(base, base+4*heap.PageGroupBytes)
+	})
+	if err := k.RunSolo(p, kernel.RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := pm.Node(base); got != DRAMNode {
+		t.Errorf("hot group tier = %d, want DRAM", got)
+	}
+	if got := pm.Node(base + 2*heap.PageGroupBytes); got != PCMNode {
+		t.Errorf("cold group tier = %d, want PCM", got)
+	}
+	st := eng.Stats()
+	if st.PagesMigrated != heap.PageGroupPages {
+		t.Errorf("pages migrated = %d, want %d", st.PagesMigrated, heap.PageGroupPages)
+	}
+	if st.StallCycles == 0 {
+		t.Error("migration charged no stall cycles")
+	}
+	if after[DRAMNode] != heap.PageGroupPages {
+		t.Errorf("DRAM residency = %d, want %d", after[DRAMNode], heap.PageGroupPages)
+	}
+}
+
+func TestWriteThresholdDemotesColdUnderPressure(t *testing.T) {
+	cfg := Config{Kind: WriteThreshold, HotWriteLines: 1 << 40, DRAMBudgetPages: 4}
+	_, k := testStack(cfg)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = uint64(heap.HeapBase)
+	pm := heap.NewPageMap(base, base+2*heap.PageGroupBytes)
+	pm.SetRange(base, base+2*heap.PageGroupBytes, DRAMNode)
+
+	p := k.NewProcess("t", 0, func(p *kernel.Process) {
+		if err := p.AS.MMap(base, 2*heap.PageGroupBytes, DRAMNode); err != nil {
+			panic(err)
+		}
+		// Touch both groups once (cold), 32 resident DRAM pages > 4.
+		for off := uint64(0); off < 2*heap.PageGroupBytes; off += kernel.PageSize {
+			p.Access(base+off, 8, true)
+		}
+		p.Kernel().Machine().DrainCaches()
+		// A fresh window: the faulting writes above should not count
+		// as heat.
+		for i := 0; i < p.Kernel().Machine().Nodes(); i++ {
+			p.Kernel().Machine().Node(i).ResetWindow()
+		}
+		eng.OnSafepoint(p, pm)
+	})
+	if err := k.RunSolo(p, kernel.RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().PagesMigrated == 0 {
+		t.Error("pressure should demote cold DRAM groups")
+	}
+	if got := pm.Node(base); got != PCMNode {
+		t.Errorf("coldest group tier = %d, want PCM", got)
+	}
+}
+
+func TestWearLevelRotatesWornGroups(t *testing.T) {
+	cfg := Config{Kind: WearLevel, WearFactor: 1.5}
+	m, k := testStack(cfg)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = uint64(heap.HeapBase)
+	pm := heap.NewPageMap(base, base+4*heap.PageGroupBytes)
+	pm.SetRange(base, base+4*heap.PageGroupBytes, PCMNode)
+
+	var before, rotated uint64
+	p := k.NewProcess("t", 0, func(p *kernel.Process) {
+		if err := p.AS.MMap(base, 4*heap.PageGroupBytes, PCMNode); err != nil {
+			panic(err)
+		}
+		// Wear group 0 far beyond the rest.
+		for i := 0; i < 32; i++ {
+			p.AccessLines(base, heap.PageGroupBytes/64, true)
+		}
+		for off := uint64(0); off < 4*heap.PageGroupBytes; off += kernel.PageSize {
+			p.Access(base+off, 8, true)
+		}
+		m.DrainCaches()
+		before, _ = p.AS.Lookup(base)
+		eng.OnSafepoint(p, pm)
+		rotated, _ = p.AS.Lookup(base)
+	})
+	if err := k.RunSolo(p, kernel.RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().PagesMigrated == 0 {
+		t.Fatal("wear leveling rotated nothing")
+	}
+	if before == rotated {
+		t.Error("worn page kept its frame")
+	}
+	if got := pm.Node(base); got != PCMNode {
+		t.Errorf("rotation changed the tier to %d", got)
+	}
+}
+
+func TestFirstTouchNeverMigrates(t *testing.T) {
+	cfg := Config{Kind: FirstTouch}
+	if !cfg.FirstTouchHeap() {
+		t.Error("first-touch must request first-touch heap bindings")
+	}
+	_, k := testStack(cfg)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = uint64(heap.HeapBase)
+	pm := heap.NewPageMap(base, base+heap.PageGroupBytes)
+	p := k.NewProcess("t", 0, func(p *kernel.Process) {
+		if err := p.AS.MMap(base, heap.PageGroupBytes, kernel.NodeFirstTouch); err != nil {
+			panic(err)
+		}
+		p.Access(base, 8, true)
+		eng.OnSafepoint(p, pm)
+	})
+	if err := k.RunSolo(p, kernel.RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.PagesMigrated != 0 || st.Quanta != 1 {
+		t.Errorf("stats = %+v, want 0 migrations over 1 quantum", st)
+	}
+}
+
+// recordingPolicy is a custom pluggable policy that logs its views.
+type recordingPolicy struct {
+	views int
+	saw   uint64
+}
+
+func (r *recordingPolicy) Name() string { return "recording" }
+func (r *recordingPolicy) Decide(v View, cfg Config) []Action {
+	r.views++
+	for _, g := range v.Groups {
+		r.saw += uint64(g.Pages)
+	}
+	return nil
+}
+
+func TestPluggableCustomPolicy(t *testing.T) {
+	rec := &recordingPolicy{}
+	eng := NewEngineWith(rec, Config{Kind: WriteThreshold})
+	_, k := testStack(Config{Kind: WriteThreshold})
+	const base = uint64(heap.HeapBase)
+	pm := heap.NewPageMap(base, base+2*heap.PageGroupBytes)
+	pm.SetRange(base, base+2*heap.PageGroupBytes, PCMNode)
+	p := k.NewProcess("t", 0, func(p *kernel.Process) {
+		if err := p.AS.MMap(base, 2*heap.PageGroupBytes, PCMNode); err != nil {
+			panic(err)
+		}
+		p.Access(base, 8, true)
+		eng.OnSafepoint(p, pm)
+	})
+	if err := k.RunSolo(p, kernel.RunConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.views != 1 || rec.saw != 1 {
+		t.Errorf("custom policy saw %d views, %d pages; want 1 and 1", rec.views, rec.saw)
+	}
+}

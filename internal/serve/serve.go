@@ -7,11 +7,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/run     one experiment; responds with a store.Record
-//	POST /v1/sweep   a grid; streams one JSON line per completed run
-//	GET  /v1/results durable-store listing with spec filters
-//	GET  /healthz    liveness
-//	GET  /metrics    cache + store counters (Prometheus text format)
+//	POST /v1/run      one experiment; responds with a store.Record
+//	POST /v1/sweep    a grid; streams one JSON line per completed run
+//	GET  /v1/results  durable-store listing with spec filters + paging
+//	GET  /v1/policies the placement policies the engine offers
+//	GET  /healthz     liveness
+//	GET  /metrics     cache + store counters (Prometheus text format)
 package serve
 
 import (
@@ -61,6 +62,7 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -82,6 +84,7 @@ type RunRequest struct {
 	Instances int    `json:"instances,omitempty"`
 	Dataset   string `json:"dataset,omitempty"`
 	Mode      string `json:"mode,omitempty"`
+	Policy    string `json:"policy,omitempty"`
 	Native    bool   `json:"native,omitempty"`
 }
 
@@ -120,6 +123,13 @@ func (s *Server) resolve(req RunRequest) (hybridmem.RunSpec, *hybridmem.Platform
 		}
 		p = p.With(hybridmem.WithMode(m))
 	}
+	if req.Policy != "" {
+		pol, err := hybridmem.ParsePolicy(req.Policy)
+		if err != nil {
+			return spec, nil, err
+		}
+		p = p.With(hybridmem.WithPolicy(pol))
+	}
 	// Normalize so the Record echoed over HTTP equals the Record the
 	// store persists, and validate against the platform's own factory
 	// (which may know apps the global registry does not).
@@ -136,7 +146,7 @@ func httpStatus(err error) int {
 	for _, bad := range []error{
 		hybridmem.ErrUnknownApp, hybridmem.ErrUnknownCollector,
 		hybridmem.ErrUnknownDataset, hybridmem.ErrUnknownMode, hybridmem.ErrUnknownScale,
-		errBadRequest,
+		hybridmem.ErrUnknownPolicy, errBadRequest,
 	} {
 		if errors.Is(err, bad) {
 			return http.StatusBadRequest
@@ -227,17 +237,24 @@ type SweepRequest struct {
 	Instances  []int    `json:"instances,omitempty"`
 	Datasets   []string `json:"datasets,omitempty"`
 	Mode       string   `json:"mode,omitempty"`
-	Native     bool     `json:"native,omitempty"`
+	// Policies sweeps placement policies: the spec grid runs once per
+	// named policy on a derived platform. Empty means the server
+	// platform's own policy.
+	Policies []string `json:"policies,omitempty"`
+	Native   bool     `json:"native,omitempty"`
 }
 
 // SweepItem is one line of a /v1/sweep response stream. Index aligns
 // the item with the request grid expanded in Sweep.Specs order
-// (app-major, then collector, instances, dataset); items arrive in
-// completion order.
+// (app-major, then collector, instances, dataset), repeated
+// policy-major when the request sweeps policies; items arrive in
+// completion order. Policy echoes the placement policy of the item's
+// pass when the request named any.
 type SweepItem struct {
 	Index  int               `json:"index"`
 	Key    string            `json:"key,omitempty"`
 	Sum    string            `json:"sum,omitempty"`
+	Policy string            `json:"policy,omitempty"`
 	Spec   hybridmem.RunSpec `json:"spec"`
 	Result *hybridmem.Result `json:"result,omitempty"`
 	Error  string            `json:"error,omitempty"`
@@ -299,14 +316,41 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		p = p.With(hybridmem.WithMode(m))
 	}
+	// A policies dimension expands the grid policy-major: the spec
+	// grid repeats once per policy on a derived platform, matching
+	// the RunSweep alignment.
+	type cell struct {
+		p      *hybridmem.Platform
+		spec   hybridmem.RunSpec
+		policy string
+	}
+	platforms := []*hybridmem.Platform{p}
+	policyNames := []string{""}
+	if len(req.Policies) > 0 {
+		platforms = platforms[:0]
+		policyNames = policyNames[:0]
+		for _, name := range req.Policies {
+			pol, err := hybridmem.ParsePolicy(name)
+			if err != nil {
+				fail(w, http.StatusBadRequest, err)
+				return
+			}
+			platforms = append(platforms, p.With(hybridmem.WithPolicy(pol)))
+			policyNames = append(policyNames, pol.String())
+		}
+	}
 	specs := sweep.Specs()
-	for i, spec := range specs {
-		// Normalize and validate the whole grid before the stream
-		// starts: errors after the 200 header can only go in-stream.
-		specs[i] = hybridmem.NormalizeSpec(spec)
-		if err := p.Validate(specs[i]); err != nil {
-			fail(w, httpStatus(err), err)
-			return
+	cells := make([]cell, 0, len(platforms)*len(specs))
+	for pi, pp := range platforms {
+		for _, spec := range specs {
+			// Normalize and validate the whole grid before the stream
+			// starts: errors after the 200 header can only go in-stream.
+			spec = hybridmem.NormalizeSpec(spec)
+			if err := pp.Validate(spec); err != nil {
+				fail(w, httpStatus(err), err)
+				return
+			}
+			cells = append(cells, cell{p: pp, spec: spec, policy: policyNames[pi]})
 		}
 	}
 
@@ -326,37 +370,63 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	queue := make(chan int, len(specs))
-	for i := range specs {
+	queue := make(chan int, len(cells))
+	for i := range cells {
 		queue <- i
 	}
 	close(queue)
 	workers := cap(s.sem)
-	if workers > len(specs) {
-		workers = len(specs)
+	if workers > len(cells) {
+		workers = len(cells)
 	}
 	for range workers {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range queue {
-				rec, err := s.run(r, p, specs[i])
+				c := cells[i]
+				rec, err := s.run(r, c.p, c.spec)
 				if err != nil {
 					// Per-item failures stay in-stream: the rest of the
 					// grid keeps going, the client sees which cell broke.
-					emit(SweepItem{Index: i, Spec: specs[i], Error: err.Error()})
+					emit(SweepItem{Index: i, Policy: c.policy, Spec: c.spec, Error: err.Error()})
 					continue
 				}
-				emit(SweepItem{Index: i, Key: rec.Key, Sum: rec.Sum, Spec: rec.Spec, Result: &rec.Result})
+				emit(SweepItem{Index: i, Key: rec.Key, Sum: rec.Sum, Policy: c.policy, Spec: rec.Spec, Result: &rec.Result})
 			}
 		}()
 	}
 	wg.Wait()
 }
 
+// handlePolicies serves GET /v1/policies: the placement policies the
+// engine offers, with the default flagged.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	type policyInfo struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		Default     bool   `json:"default,omitempty"`
+	}
+	var out []policyInfo
+	for _, k := range hybridmem.Policies() {
+		out = append(out, policyInfo{
+			Name:        k.String(),
+			Description: k.Description(),
+			Default:     k == s.p.PolicyKind(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Count    int          `json:"count"`
+		Policies []policyInfo `json:"policies"`
+	}{Count: len(out), Policies: out})
+}
+
 // handleResults serves GET /v1/results: the durable store's listing,
 // filtered by spec fields (?app=, ?collector=, ?dataset=, ?instances=,
-// ?native=).
+// ?native=) and paged with ?limit= and ?offset= over the filtered,
+// key-ordered records. The response's total counts every match so a
+// client can page through without a second query.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	st, err := s.p.Store()
 	if err != nil {
@@ -405,6 +475,23 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		filters = append(filters, func(rec store.Record) bool { return rec.Spec.Native == b })
 	}
+	limit, offset := -1, 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			fail(w, http.StatusBadRequest, fmt.Errorf("%w: limit must be a non-negative integer, got %q", errBadRequest, v))
+			return
+		}
+		limit = n
+	}
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			fail(w, http.StatusBadRequest, fmt.Errorf("%w: offset must be a non-negative integer, got %q", errBadRequest, v))
+			return
+		}
+		offset = n
+	}
 	if len(filters) > 0 {
 		match = func(rec store.Record) bool {
 			for _, f := range filters {
@@ -416,11 +503,22 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	recs := st.List(match)
+	total := len(recs)
+	if offset >= len(recs) {
+		recs = nil
+	} else {
+		recs = recs[offset:]
+	}
+	if limit >= 0 && limit < len(recs) {
+		recs = recs[:limit]
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
 		Count   int            `json:"count"`
+		Total   int            `json:"total"`
+		Offset  int            `json:"offset"`
 		Records []store.Record `json:"records"`
-	}{Count: len(recs), Records: recs})
+	}{Count: len(recs), Total: total, Offset: offset, Records: recs})
 }
 
 // handleHealthz serves GET /healthz.

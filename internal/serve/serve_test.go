@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -332,5 +333,209 @@ func TestStoreOpenFailsAtStartup(t *testing.T) {
 	p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick), hybridmem.WithStore(bad))
 	if _, err := New(p, Config{}); err == nil {
 		t.Fatal("New must fail when the store cannot open")
+	}
+}
+
+func TestPoliciesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, hybridmem.WithPolicy(hybridmem.WriteThreshold))
+	resp, err := http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policies = %d", resp.StatusCode)
+	}
+	var out struct {
+		Count    int `json:"count"`
+		Policies []struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+			Default     bool   `json:"default"`
+		} `json:"policies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 4 || len(out.Policies) != 4 {
+		t.Fatalf("policies body = %+v, want 4 entries", out)
+	}
+	for _, pi := range out.Policies {
+		if _, err := hybridmem.ParsePolicy(pi.Name); err != nil {
+			t.Errorf("served name %q does not parse back: %v", pi.Name, err)
+		}
+		if pi.Description == "" {
+			t.Errorf("policy %q has no description", pi.Name)
+		}
+		if pi.Default != (pi.Name == hybridmem.WriteThreshold.String()) {
+			t.Errorf("policy %q default flag = %v", pi.Name, pi.Default)
+		}
+	}
+}
+
+func TestRunEndpointPolicyOverride(t *testing.T) {
+	p, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{App: "PR", Collector: "KG-N", Policy: "write-threshold"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("run = %d: %s", resp.StatusCode, body)
+	}
+	var rec store.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Result.PagesMigrated == 0 {
+		t.Error("write-threshold request migrated no pages")
+	}
+	spec := hybridmem.RunSpec{AppName: "PR", Collector: hybridmem.KGN}
+	want, err := p.With(hybridmem.WithPolicy(hybridmem.WriteThreshold)).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.Result, want) {
+		t.Error("HTTP policy run is not bit-identical to the direct platform run")
+	}
+	if !strings.Contains(rec.Key, "policy=write-threshold") {
+		t.Errorf("record key %q does not carry the policy", rec.Key)
+	}
+
+	bad := postJSON(t, ts.URL+"/v1/run", RunRequest{App: "PR", Policy: "lru"})
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown policy = %d, want 400", bad.StatusCode)
+	}
+}
+
+func TestResultsPaging(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results.d")
+	_, ts := newTestServer(t, hybridmem.WithStore(dir))
+
+	// Three distinct runs to page over.
+	for _, gc := range []string{"PCM-Only", "KG-N", "KG-W"} {
+		resp := postJSON(t, ts.URL+"/v1/run", RunRequest{App: "lusearch", Collector: gc})
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("run %s = %d: %s", gc, resp.StatusCode, body)
+		}
+		resp.Body.Close()
+	}
+
+	type listing struct {
+		Count   int            `json:"count"`
+		Total   int            `json:"total"`
+		Offset  int            `json:"offset"`
+		Records []store.Record `json:"records"`
+	}
+	get := func(query string) listing {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/results" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("results%s = %d: %s", query, resp.StatusCode, body)
+		}
+		var out listing
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	all := get("")
+	if all.Total != 3 || all.Count != 3 || len(all.Records) != 3 {
+		t.Fatalf("unpaged listing = %d/%d records", all.Count, all.Total)
+	}
+
+	// Pages partition the listing in order, and total still counts
+	// every match.
+	var paged []store.Record
+	for off := 0; off < all.Total; off += 2 {
+		page := get(fmt.Sprintf("?limit=2&offset=%d", off))
+		if page.Total != 3 {
+			t.Errorf("paged total = %d, want 3", page.Total)
+		}
+		if page.Offset != off {
+			t.Errorf("offset echo = %d, want %d", page.Offset, off)
+		}
+		if page.Count != len(page.Records) {
+			t.Errorf("count %d != %d records", page.Count, len(page.Records))
+		}
+		paged = append(paged, page.Records...)
+	}
+	if !reflect.DeepEqual(paged, all.Records) {
+		t.Error("pages do not reassemble the full listing in order")
+	}
+
+	// Past-the-end offsets are empty, not errors.
+	if out := get("?offset=99"); out.Count != 0 || out.Total != 3 {
+		t.Errorf("past-the-end page = %d/%d", out.Count, out.Total)
+	}
+	// limit=0 returns no records but still reports the total.
+	if out := get("?limit=0"); out.Count != 0 || out.Total != 3 {
+		t.Errorf("limit=0 page = %d/%d", out.Count, out.Total)
+	}
+	// Paging composes with spec filters.
+	if out := get("?collector=KG-N&limit=5"); out.Total != 1 || out.Count != 1 {
+		t.Errorf("filtered page = %d/%d, want 1/1", out.Count, out.Total)
+	}
+
+	// Malformed paging parameters are client errors.
+	for _, q := range []string{"?limit=-1", "?limit=x", "?offset=-3", "?offset=y"} {
+		resp, err := http.Get(ts.URL + "/v1/results" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("results%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestSweepPoliciesDimension(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Apps:       []string{"lusearch"},
+		Collectors: []string{"KG-N"},
+		Policies:   []string{"static", "first-touch"},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("sweep = %d: %s", resp.StatusCode, body)
+	}
+	seen := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	items := 0
+	for sc.Scan() {
+		var item SweepItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatal(err)
+		}
+		if item.Error != "" {
+			t.Fatalf("item %d failed: %s", item.Index, item.Error)
+		}
+		seen[item.Policy]++
+		items++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if items != 2 {
+		t.Fatalf("sweep streamed %d items, want 2 (one per policy)", items)
+	}
+	if seen["static"] != 1 || seen["first-touch"] != 1 {
+		t.Errorf("policy passes = %v", seen)
+	}
+
+	bad := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Apps: []string{"lusearch"}, Policies: []string{"nope"}})
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown sweep policy = %d, want 400", bad.StatusCode)
 	}
 }

@@ -87,6 +87,59 @@ func TestDatasetStringRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPolicyStringRoundTrip checks every placement policy survives
+// String() → ParsePolicy, so the names printed anywhere in the tooling
+// are always valid inputs again.
+func TestPolicyStringRoundTrip(t *testing.T) {
+	if len(Policies()) != 4 {
+		t.Fatalf("Policies() = %d entries, want 4", len(Policies()))
+	}
+	for _, k := range Policies() {
+		got, err := ParsePolicy(k.String())
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("round trip %q: got %v, want %v", k.String(), got, k)
+		}
+	}
+}
+
+// TestPolicyAliasesStable freezes the punctuation-folded aliases the
+// CLI flags and HTTP requests rely on.
+func TestPolicyAliasesStable(t *testing.T) {
+	aliases := map[string]Policy{
+		"static":          Static,
+		"STATIC":          Static,
+		"firsttouch":      FirstTouch,
+		"first-touch":     FirstTouch,
+		"first_touch":     FirstTouch,
+		"First Touch":     FirstTouch,
+		"writethreshold":  WriteThreshold,
+		"write-threshold": WriteThreshold,
+		"WriteThreshold":  WriteThreshold,
+		"wearlevel":       WearLevel,
+		"wear-level":      WearLevel,
+		"WEAR_LEVEL":      WearLevel,
+	}
+	for name, want := range aliases {
+		got, err := ParsePolicy(name)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("alias %q: got %v, want %v", name, got, want)
+		}
+	}
+	for _, bad := range []string{"", "lru", "wear", "threshold", "dynamic"} {
+		if _, err := ParsePolicy(bad); !errors.Is(err, ErrUnknownPolicy) {
+			t.Errorf("ParsePolicy(%q) err = %v, want ErrUnknownPolicy", bad, err)
+		}
+	}
+}
+
 func TestModeStringRoundTrip(t *testing.T) {
 	for _, m := range []Mode{Emulation, Simulation} {
 		got, err := ParseMode(m.String())

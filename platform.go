@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jvm"
+	"repro/internal/policy"
 	"repro/internal/store"
 	"repro/internal/workloads"
 	"repro/internal/workloads/all"
@@ -32,6 +33,8 @@ var (
 	ErrUnknownDataset = errors.New("hybridmem: unknown dataset")
 	// ErrUnknownMode reports an unparseable pipeline mode name.
 	ErrUnknownMode = errors.New("hybridmem: unknown mode")
+	// ErrUnknownPolicy reports an unparseable placement-policy name.
+	ErrUnknownPolicy = errors.New("hybridmem: unknown policy")
 )
 
 // ParseCollector resolves a collector by its paper name ("PCM-Only",
@@ -84,6 +87,20 @@ func ParseDataset(name string) (Dataset, error) {
 	return 0, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 }
 
+// ParsePolicy resolves a placement policy by name ("static",
+// "first-touch", "write-threshold", "wear-level"). Matching is
+// case-insensitive and ignores '-'/'_'/' ' punctuation, so
+// "WriteThreshold" and "write-threshold" are the same policy.
+func ParsePolicy(name string) (Policy, error) {
+	want := foldCollectorName(name)
+	for _, k := range Policies() {
+		if foldCollectorName(k.String()) == want {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownPolicy, name)
+}
+
 // ParseMode resolves an evaluation pipeline by name: "emul"/"emulation"
 // or "sim"/"simulation".
 func ParseMode(name string) (Mode, error) {
@@ -130,6 +147,7 @@ type config struct {
 	factoryKey     string
 	parallelism    int
 	storeDir       string
+	policy         policy.Config
 }
 
 // defaultConfig mirrors core.DefaultOptions: emulation pipeline,
@@ -233,6 +251,14 @@ func WithBootMB(mb int) Option {
 // WithParallelism caps the number of experiments RunBatch executes
 // concurrently (0 = one per available core).
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithPolicy selects the dynamic-placement policy with its default
+// knobs (Static — the default — disables the engine entirely, which
+// is the paper's plan-time tiering bit-for-bit). The policy is part
+// of the result identity: every cache and store key carries it.
+func WithPolicy(k Policy) Option {
+	return func(c *config) { c.policy = policy.Config{Kind: k} }
+}
 
 // WithStore attaches a durable result store rooted at dir as a second
 // cache tier: lookups fall through memory → disk → compute, computed
@@ -356,8 +382,12 @@ func (p *Platform) coreOptions() core.Options {
 	o.TrackWear = p.cfg.trackWear
 	o.BootMB = p.cfg.effectiveBootMB()
 	o.AppFactory = p.cfg.factory
+	o.Policy = p.cfg.policy
 	return o
 }
+
+// PolicyKind returns the platform's configured placement policy.
+func (p *Platform) PolicyKind() Policy { return p.cfg.policy.Kind }
 
 // normalizeSpec applies RunSpec defaults so equivalent specs share one
 // cache entry.
@@ -382,6 +412,9 @@ func NormalizeSpec(spec RunSpec) RunSpec { return normalizeSpec(spec) }
 func (p *Platform) validateSpec(spec RunSpec) error {
 	if !spec.Native && (spec.Collector < 0 || spec.Collector >= jvm.NumKinds) {
 		return fmt.Errorf("%w: Kind(%d)", ErrUnknownCollector, int(spec.Collector))
+	}
+	if p.cfg.policy.Kind < policy.Static || p.cfg.policy.Kind >= policy.NumKinds {
+		return fmt.Errorf("%w: Kind(%d)", ErrUnknownPolicy, int(p.cfg.policy.Kind))
 	}
 	factory := p.cfg.factory
 	if factory == nil {
@@ -409,6 +442,7 @@ type cacheKey struct {
 	trackWear      bool
 	bootMB         int
 	factoryKey     string
+	policyKey      string
 	app            string
 	collector      Collector
 	instances      int
@@ -416,8 +450,15 @@ type cacheKey struct {
 	native         bool
 }
 
-// key builds the canonical cache key for a normalized spec.
+// key builds the canonical cache key for a normalized spec. Native
+// runs have no GC safepoints for the placement engine to hook and
+// ignore the policy entirely, so their keys normalize it to static —
+// one platform's native Results serve every policy variant.
 func (p *Platform) key(spec RunSpec) cacheKey {
+	policyKey := p.cfg.policy.Key()
+	if spec.Native {
+		policyKey = policy.Config{}.Key()
+	}
 	return cacheKey{
 		mode:           p.cfg.mode,
 		seed:           p.cfg.seed,
@@ -431,6 +472,7 @@ func (p *Platform) key(spec RunSpec) cacheKey {
 		trackWear:      p.cfg.trackWear,
 		bootMB:         p.cfg.effectiveBootMB(),
 		factoryKey:     p.cfg.factoryKey,
+		policyKey:      policyKey,
 		app:            spec.AppName,
 		collector:      spec.Collector,
 		instances:      spec.Instances,
@@ -459,6 +501,7 @@ func (k cacheKey) canonical() string {
 		"wear=" + strconv.FormatBool(k.trackWear),
 		"boot=" + strconv.Itoa(k.bootMB),
 		"factory=" + k.factoryKey,
+		"policy=" + k.policyKey,
 		"app=" + k.app,
 		"gc=" + k.collector.String(),
 		"n=" + strconv.Itoa(k.instances),

@@ -13,6 +13,7 @@ type Sweep struct {
 	collectors []Collector
 	instances  []int
 	datasets   []Dataset
+	policies   []Policy
 	native     bool
 }
 
@@ -49,9 +50,29 @@ func (s *Sweep) Native() *Sweep {
 	return s
 }
 
+// Policies adds a placement-policy dimension to the sweep. Unlike the
+// other dimensions, policy is a platform knob rather than a RunSpec
+// field: RunSweep runs the whole Specs() grid once per named policy on
+// a derived platform (sharing both cache tiers), and the combined
+// result slice is policy-major — Results[p*len(Specs())+i] is
+// Specs()[i] under PolicySweep()[p]. An empty dimension (the default)
+// runs the grid once under the platform's own configured policy.
+func (s *Sweep) Policies(ps ...Policy) *Sweep {
+	s.policies = ps
+	return s
+}
+
+// PolicySweep returns the sweep's placement-policy dimension (nil
+// when the platform's configured policy applies).
+func (s *Sweep) PolicySweep() []Policy {
+	return s.policies
+}
+
 // Specs expands the grid into RunSpecs, ordered app-major then
 // collector, instances, dataset — a fixed order, so Specs()[i] lines
-// up with the i-th Result of RunSweep and RunBatch. Empty dimensions
+// up with the i-th Result of RunBatch (and of RunSweep without a
+// Policies dimension; with one, results repeat policy-major — see
+// RunSweep). Empty dimensions
 // take their documented defaults (the 15-benchmark registry, all
 // eight collectors, 1 instance, the Default dataset); repeated entries
 // are preserved in order, so a dimension like Instances(1, 1, 2)
@@ -96,7 +117,22 @@ func (s *Sweep) Specs() []RunSpec {
 }
 
 // RunSweep executes the sweep through the platform's worker pool and
-// returns Results aligned with sweep.Specs().
+// returns Results aligned with sweep.Specs(). With a Policies
+// dimension the grid runs once per policy on a derived platform and
+// the results concatenate policy-major: Results[p*len(Specs())+i] is
+// Specs()[i] under PolicySweep()[p].
 func (p *Platform) RunSweep(ctx context.Context, sweep *Sweep) ([]Result, error) {
-	return p.RunBatch(ctx, sweep.Specs()...)
+	specs := sweep.Specs()
+	if len(sweep.policies) == 0 {
+		return p.RunBatch(ctx, specs...)
+	}
+	results := make([]Result, 0, len(sweep.policies)*len(specs))
+	for _, pol := range sweep.policies {
+		batch, err := p.With(WithPolicy(pol)).RunBatch(ctx, specs...)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, batch...)
+	}
+	return results, nil
 }
