@@ -7,7 +7,13 @@
 //	hybridemu -app lusearch -gc KG-W [-instances 4] [-dataset large]
 //	          [-mode emul|sim] [-native] [-l3mb 20] [-scale quick|std|full]
 //	          [-policy static|first-touch|write-threshold|wear-level]
-//	          [-store DIR]
+//	          [-store DIR] [-trace out.ndjson]
+//
+// -trace records the run's per-quantum placement trace (views, policy
+// actions, executed migration costs) as versioned ndjson; replay it
+// offline with cmd/policyreplay. A traced run always computes — the
+// result cache and store are bypassed — and an unwritable trace path
+// exits 2 before any work runs.
 //
 // Bad flag values exit with status 2 and the platform's typed-error
 // message (unknown application, unknown collector, ...); run failures
@@ -37,6 +43,7 @@ func main() {
 	policyName := flag.String("policy", "static", "placement policy: static, first-touch, write-threshold, wear-level")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	storeDir := flag.String("store", "", "durable result store directory: identical reruns replay from disk")
+	tracePath := flag.String("trace", "", "record the per-quantum placement trace to this ndjson file (see policyreplay)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -110,6 +117,19 @@ func main() {
 		fail(fmt.Errorf("%w (see -list)", err))
 	}
 
+	var traceFile *os.File
+	if *tracePath != "" {
+		// Opened only after the spec validates: an unwritable path is
+		// a flag mistake that exits 2 before any platform work, and a
+		// bad -app/-gc must not truncate a previously recorded trace.
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(fmt.Errorf("opening -trace file: %w", err))
+		}
+		traceFile = f
+		p = p.With(hybridmem.WithTrace(f))
+	}
+
 	res, err := p.Run(context.Background(), spec)
 	if err != nil {
 		// Typed spec errors are the caller's fault (exit 2); everything
@@ -158,5 +178,15 @@ func main() {
 	} {
 		years := hybridmem.LifetimeYears(lifetime.DefaultPCMBytes, e.v, res.PCMRateMBs())
 		fmt.Printf("  lifetime @ %s: %.0f years\n", e.name, years)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hybridemu: closing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if fi, err := os.Stat(*tracePath); err == nil {
+			fmt.Printf("  trace:               %s (%d bytes; replay with policyreplay -trace %s)\n",
+				*tracePath, fi.Size(), *tracePath)
+		}
 	}
 }

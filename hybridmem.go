@@ -64,10 +64,14 @@
 package hybridmem
 
 import (
+	"fmt"
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/jvm"
 	"repro/internal/lifetime"
 	"repro/internal/policy"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 	"repro/internal/workloads/all"
 )
@@ -166,9 +170,41 @@ const (
 	WearLevel = policy.WearLevel
 )
 
-// Policies returns the built-in placement policies in a stable order.
+// Policies returns the built-in placement policies in a stable order:
+// kind order, static first. CLI help, GET /v1/policies, and the
+// policy-major sweep layout all depend on this order not changing.
 func Policies() []Policy {
 	return []Policy{Static, FirstTouch, WriteThreshold, WearLevel}
+}
+
+// ReplayStats is the outcome of re-driving a placement policy over a
+// recorded trace, entirely offline: replayed quanta and actions,
+// migration and stall totals (the recorded executed costs wherever the
+// replayed decisions match the recorded ones, estimates priced with
+// the recorded cost constants where they diverge), the
+// PCM-write-placement estimates, and whether the replay reproduced the
+// recorded action stream bit-identically.
+type ReplayStats = trace.ReplayStats
+
+// ReplayTrace re-drives a built-in policy over a trace recorded with
+// WithTrace (or hybridemu -trace), without constructing a machine,
+// kernel, or runtime. Replaying the policy that recorded the trace
+// reproduces the recorded action stream bit-identically
+// (ReplayStats.MatchesRecorded); replaying a different policy
+// estimates how it would have placed the recorded heat.
+//
+// A version-skewed trace fails with ErrTraceVersion. A corrupt trace
+// fails with ErrTraceCorrupt naming the offending line, and the
+// returned stats still cover the valid prefix before it.
+func ReplayTrace(r io.Reader, pol Policy) (ReplayStats, error) {
+	if pol < policy.Static || pol >= policy.NumKinds {
+		return ReplayStats{}, fmt.Errorf("%w: Kind(%d)", ErrUnknownPolicy, int(pol))
+	}
+	pl, err := policy.NewPolicy(pol.String())
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	return trace.Replay(r, pl)
 }
 
 // Scale selects experiment input sizes.

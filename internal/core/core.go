@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/jvm"
 	"repro/internal/kernel"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/native"
 	"repro/internal/pcmmon"
 	"repro/internal/policy"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 	"repro/internal/workloads/all"
 )
@@ -83,6 +85,20 @@ type Options struct {
 	// BootMB overrides the boot-image size (0 = 48 MB). Experiments
 	// that run hundreds of configurations shrink it.
 	BootMB int
+	// TraceSink, when non-nil, streams a versioned ndjson placement
+	// trace into it: a header line, then one record per policy-engine
+	// quantum carrying the view, the emitted actions, and the executed
+	// costs. Tracing forces window and wear tracking on the devices
+	// (pure bookkeeping — the Result is bit-identical to an untraced
+	// run) and, for engine-less policies (static, first-touch), hooks
+	// an observe-only engine onto the GC safepoint path so every
+	// quantum is recorded. Native runs have no safepoints: their trace
+	// is a header with zero quanta. The sink is written from the run's
+	// single cooperative runner; one sink must serve one run at a time.
+	TraceSink io.Writer
+	// TraceKey is the canonical spec key stamped into the trace header
+	// (the facade fills it; empty below the facade).
+	TraceKey string
 	// EdgeOverride shrinks GraphChi datasets for tests (0 = paper
 	// scale). It is applied via the registry's test hooks.
 	AppFactory func(name string) workloads.App
@@ -185,10 +201,36 @@ func machineConfig(opts Options, native bool) machine.Config {
 		}
 	}
 	pc := opts.Policy.WithDefaults()
-	cfg.TrackWear = opts.TrackWear || (!native && pc.NeedsWear())
-	cfg.TrackWindow = !native && pc.NeedsWindow()
-	cfg.TrackWindowReads = !native && pc.NeedsReadWindow()
+	// Tracing records complete views — window writes, reads, and wear —
+	// whatever the live policy consumes, so a trace recorded under one
+	// policy carries the signals any replayed policy might read. The
+	// counters are pure bookkeeping: enabling them does not perturb the
+	// model, so traced Results stay bit-identical to untraced ones.
+	tracing := opts.TraceSink != nil && !native
+	cfg.TrackWear = opts.TrackWear || (!native && pc.NeedsWear()) || tracing
+	cfg.TrackWindow = (!native && pc.NeedsWindow()) || tracing
+	cfg.TrackWindowReads = (!native && pc.NeedsReadWindow()) || tracing
 	return cfg
+}
+
+// traceHeader assembles the trace header for a run.
+func traceHeader(opts Options, spec RunSpec, kc kernel.Config) trace.Header {
+	h := trace.Header{
+		Key:                 opts.TraceKey,
+		App:                 spec.AppName,
+		Instances:           spec.Instances,
+		Dataset:             spec.Dataset.String(),
+		Native:              spec.Native,
+		Mode:                opts.Mode.String(),
+		Seed:                opts.Seed,
+		MigrationPageCycles: kc.MigrationPageCycles,
+		TLBShootdownCycles:  kc.TLBShootdownCycles,
+	}
+	if !spec.Native {
+		h.Collector = spec.Collector.String()
+	}
+	h.SetPolicyConfig(opts.Policy)
+	return h
 }
 
 // kernelConfig builds the OS description for the mode.
@@ -217,18 +259,37 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 	}
 
 	m := machine.New(machineConfig(opts, spec.Native))
-	k := kernel.New(m, kernelConfig(opts))
+	kCfg := kernelConfig(opts)
+	k := kernel.New(m, kCfg)
 
 	// The dynamic-placement engine, shared by every instance of the
 	// run. Only migrating policies get one: static means no engine at
 	// all (bit-identical to the pre-policy platform), and first-touch
 	// acts purely through the plan's bindings, so neither pays the
-	// per-safepoint view scan.
+	// per-safepoint view scan. A trace sink changes that: recording
+	// needs a per-quantum view even for engine-less policies, so
+	// tracing hooks an observe-only engine (which still never migrates
+	// and leaves the Result bit-identical).
 	var eng *policy.Engine
-	if opts.Policy.Migrates() && !spec.Native {
+	if !spec.Native {
 		var err error
-		if eng, err = policy.NewEngine(opts.Policy); err != nil {
+		if opts.Policy.Migrates() {
+			eng, err = policy.NewEngine(opts.Policy)
+		} else if opts.TraceSink != nil {
+			eng, err = policy.NewObserver(opts.Policy)
+		}
+		if err != nil {
 			return Result{}, err
+		}
+	}
+	var rec *trace.Recorder
+	if opts.TraceSink != nil {
+		var err error
+		if rec, err = trace.NewRecorder(opts.TraceSink, traceHeader(opts, spec, kCfg)); err != nil {
+			return Result{}, err
+		}
+		if eng != nil {
+			eng.SetTap(rec)
 		}
 	}
 
@@ -348,6 +409,14 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 		res.DRAMResidentPages += counts[0]
 		if len(counts) > 1 {
 			res.PCMResidentPages += counts[1]
+		}
+	}
+	if rec != nil {
+		// A trace was asked for; a sink that stopped accepting writes
+		// mid-run fails the run rather than silently shipping a
+		// truncated trace.
+		if err := rec.Err(); err != nil {
+			return Result{}, err
 		}
 	}
 	return res, nil

@@ -191,46 +191,67 @@ func (c Config) Migrates() bool {
 	return c.Kind == WriteThreshold || c.Kind == WearLevel
 }
 
-// GroupStat is one page group as a policy sees it at a quantum.
+// GroupStat is one page group as a policy sees it at a quantum. The
+// JSON tags are the trace-record schema: internal/trace streams views
+// verbatim, and the trace golden test freezes the field names.
 type GroupStat struct {
 	// Addr is the group's base virtual address.
-	Addr uint64
+	Addr uint64 `json:"addr"`
 	// Node is the group's current tier intent from the heap's
 	// PageMap (heap.TierUnknown under first-touch until decided).
-	Node int
+	Node int `json:"node"`
 	// Pages is the number of resident pages in the group.
-	Pages int
+	Pages int `json:"pages"`
 	// WriteLines is the group's memory-controller writeback traffic
 	// over the window (zero unless the policy asked for window
 	// tracking). ReadLines is the read-side counterpart; no built-in
 	// policy consumes it, so it stays zero unless the machine was
 	// configured with TrackWindowReads for a custom policy.
-	WriteLines uint64
-	ReadLines  uint64
+	WriteLines uint64 `json:"w,omitempty"`
+	ReadLines  uint64 `json:"r,omitempty"`
 	// MaxWear is the lifetime write count of the group's most-worn
 	// page (zero unless wear tracking is on).
-	MaxWear uint32
+	MaxWear uint32 `json:"wear,omitempty"`
 }
 
 // View is the engine's per-quantum snapshot of one process's heap.
 type View struct {
 	// Groups holds every page group with at least one resident page,
 	// in address order.
-	Groups []GroupStat
+	Groups []GroupStat `json:"groups"`
 	// DRAMPages and PCMPages are the resident heap pages per tier.
-	DRAMPages uint64
-	PCMPages  uint64
+	DRAMPages uint64 `json:"dramPages"`
+	PCMPages  uint64 `json:"pcmPages"`
 	// Quantum is the safepoint sequence number, starting at 1.
-	Quantum uint64
+	Quantum uint64 `json:"quantum"`
 }
 
 // Action is one migration decision: move the group's pages currently
 // on From to To. From == To rotates the pages onto fresh frames of
 // the same node (wear leveling).
 type Action struct {
-	Addr uint64
-	From int
-	To   int
+	Addr uint64 `json:"addr"`
+	From int    `json:"from"`
+	To   int    `json:"to"`
+}
+
+// Exec is the executed outcome of one Action: how many pages MovePages
+// actually migrated and the stall cycles it charged. An exec list can
+// be shorter than its action list — the engine stops a quantum early
+// when the destination node runs out of frames.
+type Exec struct {
+	Moved int     `json:"moved"`
+	Stall float64 `json:"stall"`
+}
+
+// Tap observes every quantum the engine executes: the view the policy
+// saw, the actions it emitted (post-truncation, exactly as executed),
+// and the per-action execution outcomes. internal/trace's Recorder is
+// the canonical Tap; a tapped engine also gathers window and wear
+// counters unconditionally so the observed views are complete even for
+// policies that would not read them.
+type Tap interface {
+	OnQuantum(proc string, v View, actions []Action, exec []Exec)
 }
 
 // Policy decides migrations from a View. Implementations must be
@@ -266,10 +287,19 @@ func NewPolicy(name string) (Policy, error) {
 }
 
 func init() {
+	Register(Static.String(), func() Policy { return staticPolicy{} })
 	Register(FirstTouch.String(), func() Policy { return firstTouchPolicy{} })
 	Register(WriteThreshold.String(), func() Policy { return writeThresholdPolicy{} })
 	Register(WearLevel.String(), func() Policy { return wearLevelPolicy{} })
 }
+
+// staticPolicy never migrates: the paper's plan-time tiering is
+// entirely the plan's bindings. It is registered so traces recorded
+// under static replay uniformly through the same registry path.
+type staticPolicy struct{}
+
+func (staticPolicy) Name() string                 { return Static.String() }
+func (staticPolicy) Decide(View, Config) []Action { return nil }
 
 // firstTouchPolicy never migrates: its whole effect is the first-touch
 // initial placement the runtime applies when the plan is built.
@@ -398,6 +428,7 @@ type Engine struct {
 	cfg   Config
 	pol   Policy
 	stats Stats
+	tap   Tap
 	// marks is buildView's per-quantum scratch: one flag per page
 	// group, raised for groups overlapping a mapped region.
 	marks []bool
@@ -423,6 +454,29 @@ func NewEngineWith(pol Policy, cfg Config) *Engine {
 	return &Engine{cfg: cfg.WithDefaults(), pol: pol}
 }
 
+// NewObserver wraps the configuration's policy — including static and
+// first-touch, which NewEngine refuses because they need no
+// per-safepoint work — in an engine whose only job is observation:
+// with a Tap attached it streams every quantum's view, and since the
+// non-migrating policies decide nothing it never moves a page. The
+// trace recorder uses it so engine-less policies still produce
+// per-quantum trace records.
+func NewObserver(cfg Config) (*Engine, error) {
+	cfg = cfg.WithDefaults()
+	pol, err := NewPolicy(cfg.Kind.String())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, pol: pol}, nil
+}
+
+// SetTap attaches a per-quantum observer. A tapped engine gathers
+// window and wear counters for every view regardless of what its own
+// policy needs, so recorded traces carry the signals any replayed
+// policy might read. Devices not configured to track a counter report
+// zeros, exactly as a policy would see live.
+func (e *Engine) SetTap(t Tap) { e.tap = t }
+
 // Config returns the engine's resolved configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
@@ -445,10 +499,17 @@ func (e *Engine) OnSafepoint(p *kernel.Process, pm *heap.PageMap) {
 	if len(actions) > e.cfg.MaxGroupsPerQuantum {
 		actions = actions[:e.cfg.MaxGroupsPerQuantum]
 	}
+	var exec []Exec
+	if e.tap != nil && len(actions) > 0 {
+		exec = make([]Exec, 0, len(actions))
+	}
 	for _, a := range actions {
 		moved, stall, err := p.MovePages(a.Addr, heap.PageGroupBytes, a.From, a.To)
 		e.stats.PagesMigrated += uint64(moved)
 		e.stats.StallCycles += stall
+		if e.tap != nil {
+			exec = append(exec, Exec{Moved: moved, Stall: stall})
+		}
 		// Retarget the map only for a complete batch: a group cut
 		// short by frame exhaustion keeps its old tier so its
 		// stranded pages stay eligible for the retry below.
@@ -460,6 +521,9 @@ func (e *Engine) OnSafepoint(p *kernel.Process, pm *heap.PageMap) {
 			// can do better, stop and let the next quantum retry.
 			break
 		}
+	}
+	if e.tap != nil {
+		e.tap.OnQuantum(p.Name, v, actions, exec)
 	}
 }
 
@@ -506,7 +570,7 @@ func (e *Engine) buildView(p *kernel.Process, pm *heap.PageMap, m *machine.Machi
 			}
 			dev := m.Node(node)
 			off := pa % nodeBytes
-			if e.cfg.NeedsWindow() {
+			if e.cfg.NeedsWindow() || e.tap != nil {
 				// Destructive read: the window restarts per page as
 				// its owning process observes it, so one instance's
 				// quantum never clears another instance's signal.
@@ -514,7 +578,7 @@ func (e *Engine) buildView(p *kernel.Process, pm *heap.PageMap, m *machine.Machi
 				g.WriteLines += uint64(w)
 				g.ReadLines += uint64(rd)
 			}
-			if e.cfg.NeedsWear() {
+			if e.cfg.NeedsWear() || e.tap != nil {
 				if w := dev.PageWear(off); w > g.MaxWear {
 					g.MaxWear = w
 				}

@@ -11,6 +11,7 @@
 //	POST /v1/sweep    a grid; streams one JSON line per completed run
 //	GET  /v1/results  durable-store listing with spec filters + paging
 //	GET  /v1/policies the placement policies the engine offers
+//	GET  /v1/trace    record a run and stream its placement trace (ndjson)
 //	GET  /healthz     liveness
 //	GET  /metrics     cache + store counters (Prometheus text format)
 package serve
@@ -20,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -63,6 +65,7 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -397,6 +400,90 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
+}
+
+// flushWriter streams every trace record to the client as it is
+// written, so a dashboard tailing /v1/trace sees quanta live while the
+// run is still executing.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// handleTrace serves GET /v1/trace: it runs the experiment selected by
+// the query parameters (?app=, ?collector=, ?instances=, ?dataset=,
+// ?mode=, ?policy=, ?native=) with a trace recorder attached and
+// streams the versioned ndjson trace — header line, then one record
+// per policy quantum — as the run produces it. Feed the stream to
+// cmd/policyreplay (or hybridmem.ReplayTrace) to prototype policies
+// against it offline.
+//
+// A traced run always computes (a cached Result has no quanta), so
+// every request costs one full platform run and takes a concurrency
+// slot. Validation errors are rejected before the stream starts; a
+// platform failure mid-run truncates the stream, which readers surface
+// as a torn tail over the valid prefix.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := RunRequest{
+		App:       q.Get("app"),
+		Collector: q.Get("collector"),
+		Dataset:   q.Get("dataset"),
+		Mode:      q.Get("mode"),
+		Policy:    q.Get("policy"),
+	}
+	if v := q.Get("instances"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("bad instances %q: %w", v, err))
+			return
+		}
+		req.Instances = n
+	}
+	if v := q.Get("native"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("bad native %q: %w", v, err))
+			return
+		}
+		req.Native = b
+	}
+	spec, p, err := s.resolve(req)
+	if err != nil {
+		fail(w, httpStatus(err), err)
+		return
+	}
+	// Tracing always computes, so it always takes a slot — there is no
+	// cached read or joinable flight to exempt.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		fail(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	tp := p.With(hybridmem.WithTrace(flushWriter{w: w, f: flusher}))
+	if _, err := tp.Run(r.Context(), spec); err != nil {
+		// The 200 and (likely) the trace header are already on the
+		// wire; all that is left is to stop extending the stream.
+		fmt.Fprintf(os.Stderr, "hybridserved: trace %s: %v\n", spec.AppName, err)
+	}
 }
 
 // handlePolicies serves GET /v1/policies: the placement policies the

@@ -18,6 +18,7 @@ import (
 
 	hybridmem "repro"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // newTestServer builds a Quick-scale server and its httptest frontend.
@@ -537,5 +538,89 @@ func TestSweepPoliciesDimension(t *testing.T) {
 	defer bad.Body.Close()
 	if bad.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown sweep policy = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestTraceEndpoint exercises GET /v1/trace: the streamed ndjson must
+// be a valid versioned trace whose header names the requested run, and
+// replaying it with the requested policy must reproduce the recorded
+// action stream bit-identically — the live-vs-replay differential over
+// HTTP.
+func TestTraceEndpoint(t *testing.T) {
+	p, ts := newTestServer(t, hybridmem.WithSeed(11))
+	resp, err := http.Get(ts.URL + "/v1/trace?app=lusearch&collector=KG-N&policy=write-threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hdr, err := trace.NewReader(bytes.NewReader(data)).Header()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.App != "lusearch" || hdr.Collector != "KG-N" || hdr.Policy != "write-threshold" || hdr.Seed != 11 {
+		t.Errorf("trace header = %+v", hdr)
+	}
+	wantKey := p.With(hybridmem.WithPolicy(hybridmem.WriteThreshold)).
+		SpecKey(hybridmem.RunSpec{AppName: "lusearch", Collector: hybridmem.KGN})
+	if hdr.Key != wantKey {
+		t.Errorf("trace key = %q, want %q", hdr.Key, wantKey)
+	}
+
+	st, err := hybridmem.ReplayTrace(bytes.NewReader(data), hybridmem.WriteThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quanta == 0 {
+		t.Error("streamed trace has no quanta")
+	}
+	if !st.MatchesRecorded {
+		t.Errorf("streamed trace replay diverged at quantum %d", st.FirstMismatchQuantum)
+	}
+
+	// The same run again: tracing bypasses the cache, so the second
+	// stream must be byte-identical, not empty.
+	resp2, err := http.Get(ts.URL + "/v1/trace?app=lusearch&collector=KG-N&policy=write-threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	data2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("second trace stream differs from the first")
+	}
+}
+
+// TestTraceEndpointRejectsBadQuery pins validation-before-streaming.
+func TestTraceEndpointRejectsBadQuery(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, q := range []string{
+		"?app=nosuchapp",
+		"?app=lusearch&collector=nosuchgc",
+		"?app=lusearch&policy=lru",
+		"?app=lusearch&instances=nope",
+		"?app=lusearch&native=maybe",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/trace" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", q, resp.StatusCode)
+		}
 	}
 }

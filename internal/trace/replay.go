@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/policy"
+)
+
+// ReplayStats is the outcome of re-driving one policy over a recorded
+// trace, entirely offline: no machine, kernel, or jvm is constructed.
+//
+// Two kinds of numbers coexist here. When the replayed policy emits
+// exactly the recorded action stream (the same policy, or one that
+// happens to agree), migration and stall totals are the recorded
+// executed costs and therefore equal the live run's Result fields
+// bit-for-bit. When it diverges — the point of prototyping a new
+// policy offline — they are estimates priced with the recorded cost
+// constants, and the PCM write accounting models each group's window
+// writes landing on whichever tier the replayed decision history put
+// it on. Estimates are approximations: recorded views reflect the
+// recorded policy's placement history, and a different policy would
+// have bent that history (and the heat signal itself) its own way.
+type ReplayStats struct {
+	// Policy is the replayed policy; RecordedPolicy the one that
+	// produced the trace.
+	Policy         string
+	RecordedPolicy string
+	// Quanta counts replayed quantum records; Actions the migration
+	// decisions the replayed policy emitted (post-truncation).
+	Quanta  uint64
+	Actions uint64
+	// PagesMigrated and StallCycles total the migration work: recorded
+	// executed costs on matching quanta, estimates on divergent ones.
+	PagesMigrated uint64
+	StallCycles   float64
+	// MatchesRecorded reports the differential invariant: every
+	// quantum's replayed actions equaled the recorded actions.
+	// FirstMismatchQuantum is the earliest diverging quantum (0 when
+	// none diverged).
+	MatchesRecorded      bool
+	FirstMismatchQuantum uint64
+	// PCMWriteLines estimates the window write traffic that lands on
+	// PCM under the replayed policy's decisions;
+	// BaselinePCMWriteLines is the same accounting with no migrations
+	// at all (every group stays on its first-observed tier), and
+	// RecordedPCMWriteLines is the traffic as the recorded run
+	// actually placed it. Reduction vs the baseline is the offline
+	// figure of merit for a prototyped policy.
+	PCMWriteLines         uint64
+	BaselinePCMWriteLines uint64
+	RecordedPCMWriteLines uint64
+}
+
+// PCMWriteReduction returns the estimated fraction of baseline PCM
+// write traffic the replayed policy's placements avoid (0 when the
+// trace saw no PCM writes).
+func (s ReplayStats) PCMWriteReduction() float64 {
+	if s.BaselinePCMWriteLines == 0 {
+		return 0
+	}
+	return 1 - float64(s.PCMWriteLines)/float64(s.BaselinePCMWriteLines)
+}
+
+// Replay re-drives pol over the trace in src. It returns the stats for
+// every record consumed; on a corrupt trace the stats cover the valid
+// prefix and the error (ErrCorrupt with the offending line, or
+// ErrVersion from the header) reports why the replay stopped.
+func Replay(src io.Reader, pol policy.Policy) (ReplayStats, error) {
+	return ReplayReader(NewReader(src), pol)
+}
+
+// ReplayReader is Replay over an existing Reader (e.g. one whose
+// Header the caller already inspected).
+func ReplayReader(r *Reader, pol policy.Policy) (ReplayStats, error) {
+	st := ReplayStats{MatchesRecorded: true}
+	if pol == nil {
+		return st, fmt.Errorf("trace: replay needs a policy")
+	}
+	st.Policy = pol.Name()
+	h, err := r.Header()
+	if err != nil {
+		return st, err
+	}
+	st.RecordedPolicy = h.Policy
+	cfg := h.PolicyConfig()
+
+	// tiers tracks each group's tier under three decision histories:
+	// none (baseline), the recorded run's, and the replayed policy's.
+	// All three seed from the group's first-observed tier. The key
+	// includes the quantum's process: multiprogrammed instances share
+	// one virtual heap layout, so the same group address in two
+	// processes is two different groups.
+	type groupKey struct {
+		proc string
+		addr uint64
+	}
+	type groupTier struct {
+		baseline int
+		replayed int
+	}
+	tiers := map[groupKey]*groupTier{}
+
+	for {
+		q, err := r.Next()
+		if err == io.EOF {
+			return st, nil
+		}
+		if err != nil {
+			// The prefix consumed so far is valid; surface both.
+			return st, err
+		}
+		st.Quanta++
+
+		// Window write accounting under each placement history. The
+		// recorded view's Node is the recorded run's placement; pages
+		// is what a migration of this group would move.
+		pages := make(map[uint64]int, len(q.View.Groups))
+		for _, g := range q.View.Groups {
+			pages[g.Addr] = g.Pages
+			gt, ok := tiers[groupKey{q.Proc, g.Addr}]
+			if !ok {
+				gt = &groupTier{baseline: g.Node, replayed: g.Node}
+				tiers[groupKey{q.Proc, g.Addr}] = gt
+			}
+			if g.WriteLines == 0 {
+				continue
+			}
+			if gt.baseline == policy.PCMNode {
+				st.BaselinePCMWriteLines += g.WriteLines
+			}
+			if g.Node == policy.PCMNode {
+				st.RecordedPCMWriteLines += g.WriteLines
+			}
+			if gt.replayed == policy.PCMNode {
+				st.PCMWriteLines += g.WriteLines
+			}
+		}
+
+		// Re-drive the policy against the recorded view, exactly as
+		// the engine would: decide, then truncate.
+		actions := pol.Decide(q.View, cfg)
+		if len(actions) > cfg.MaxGroupsPerQuantum {
+			actions = actions[:cfg.MaxGroupsPerQuantum]
+		}
+		st.Actions += uint64(len(actions))
+
+		if actionsEqual(actions, q.Actions) {
+			// Bit-identical decision: the engine's executed costs are
+			// exactly what this policy's run charged.
+			for _, e := range q.Exec {
+				st.PagesMigrated += uint64(e.Moved)
+				st.StallCycles += e.Stall
+			}
+		} else {
+			if st.MatchesRecorded {
+				st.MatchesRecorded = false
+				st.FirstMismatchQuantum = q.Q
+			}
+			// Divergent decision: price it with the recorded cost
+			// constants, moving every resident page of the group.
+			for _, a := range actions {
+				moved := pages[a.Addr]
+				st.PagesMigrated += uint64(moved)
+				st.StallCycles += float64(moved)*h.MigrationPageCycles + h.TLBShootdownCycles
+			}
+		}
+
+		// The replayed decision history owns the replayed tier map.
+		for _, a := range actions {
+			if gt, ok := tiers[groupKey{q.Proc, a.Addr}]; ok && a.From != a.To {
+				gt.replayed = a.To
+			}
+		}
+	}
+}
+
+// actionsEqual compares action lists, treating nil and empty alike.
+func actionsEqual(a, b []policy.Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

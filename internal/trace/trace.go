@@ -1,0 +1,297 @@
+// Package trace records and replays the placement-policy engine's
+// per-quantum decision stream.
+//
+// The PR-3 engine computes a View per GC-safepoint quantum — page
+// groups with heat, wear, and residency — lets its policy decide
+// migration Actions, executes them, and throws the whole exchange
+// away. This package captures it as a versioned ndjson trace: one
+// header line carrying the run's identity (spec key, seed, policy and
+// its knobs, migration cost constants), then one line per quantum
+// carrying the full View, the policy's emitted Actions, and the
+// per-action executed costs. A recorded trace turns the emulator's
+// most expensive asset — its per-quantum placement signal — into a
+// file, so new policies are prototyped offline against recorded views
+// (the cost-avoidance move METICULOUS-style emulators exist for) and
+// the live engine is validated differentially: replaying a trace with
+// the policy that recorded it must reproduce the recorded Action
+// stream bit-identically.
+//
+// The format is append-crash-tolerant in the same way internal/store's
+// segments are: every record is one Write of one line, so a torn tail
+// shows up as an unparseable final line. The Reader surfaces ErrCorrupt
+// with the offending line number and keeps every record before it
+// valid, so replay of the intact prefix still works.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/policy"
+)
+
+// Version is the trace schema version this package writes and reads.
+// Bump it when Header or Quantum change incompatibly; readers reject
+// other versions with ErrVersion.
+const Version = 1
+
+// Typed trace errors. The hybridmem facade re-exports them as
+// ErrTraceVersion and ErrTraceCorrupt.
+var (
+	// ErrVersion reports a trace written by an incompatible schema
+	// version.
+	ErrVersion = errors.New("trace: unsupported trace version")
+	// ErrCorrupt reports an unreadable trace: a missing or mangled
+	// header, a garbage line, or a torn tail. The error message names
+	// the offending line; records before it remain valid.
+	ErrCorrupt = errors.New("trace: corrupt trace")
+)
+
+// Header is the trace's first line: the recorded run's identity plus
+// everything a replayer needs to re-drive a policy against the views —
+// the policy knobs (Decide takes them) and the kernel's migration cost
+// constants (stall estimation uses them). Changing it is a schema
+// change: bump Version and regenerate the golden trace.
+type Header struct {
+	Version int `json:"version"`
+	// Key is the platform's canonical spec key for the recorded run
+	// (empty when the trace was recorded below the facade).
+	Key string `json:"key,omitempty"`
+	// The spec, spelled with the public names.
+	App       string `json:"app"`
+	Collector string `json:"collector,omitempty"`
+	Instances int    `json:"instances"`
+	Dataset   string `json:"dataset"`
+	Native    bool   `json:"native,omitempty"`
+	Mode      string `json:"mode"`
+	Seed      uint64 `json:"seed"`
+	// Policy is the recorded policy's name; the knobs below are its
+	// resolved configuration.
+	Policy              string  `json:"policy"`
+	HotWriteLines       uint64  `json:"hotWriteLines"`
+	ColdWriteLines      uint64  `json:"coldWriteLines"`
+	DRAMBudgetPages     uint64  `json:"dramBudgetPages"`
+	WearFactor          float64 `json:"wearFactor"`
+	MaxGroupsPerQuantum int     `json:"maxGroupsPerQuantum"`
+	// The recorded kernel's migration cost constants, so offline stall
+	// estimates price actions the way the live run would have.
+	MigrationPageCycles float64 `json:"migrationPageCycles"`
+	TLBShootdownCycles  float64 `json:"tlbShootdownCycles"`
+}
+
+// SetPolicyConfig fills the header's policy fields from a resolved
+// configuration.
+func (h *Header) SetPolicyConfig(cfg policy.Config) {
+	cfg = cfg.WithDefaults()
+	h.Policy = cfg.Kind.String()
+	h.HotWriteLines = cfg.HotWriteLines
+	h.ColdWriteLines = cfg.ColdWriteLines
+	h.DRAMBudgetPages = cfg.DRAMBudgetPages
+	h.WearFactor = cfg.WearFactor
+	h.MaxGroupsPerQuantum = cfg.MaxGroupsPerQuantum
+}
+
+// PolicyConfig reconstructs the recorded policy configuration; Replay
+// hands it to the replayed policy's Decide, so a replay prices and
+// truncates decisions with the recorded knobs.
+func (h Header) PolicyConfig() policy.Config {
+	cfg := policy.Config{
+		HotWriteLines:       h.HotWriteLines,
+		ColdWriteLines:      h.ColdWriteLines,
+		DRAMBudgetPages:     h.DRAMBudgetPages,
+		WearFactor:          h.WearFactor,
+		MaxGroupsPerQuantum: h.MaxGroupsPerQuantum,
+	}
+	for k := policy.Static; k < policy.NumKinds; k++ {
+		if k.String() == h.Policy {
+			cfg.Kind = k
+			break
+		}
+	}
+	return cfg.WithDefaults()
+}
+
+// Quantum is one recorded engine quantum: the view one process's
+// safepoint presented, the actions the policy emitted (post-truncation,
+// exactly the list the engine executed), and the per-action outcomes.
+// Exec aligns with Actions index-by-index and may be shorter when the
+// engine stopped the quantum early on frame exhaustion.
+type Quantum struct {
+	Q       uint64          `json:"q"`
+	Proc    string          `json:"proc,omitempty"`
+	View    policy.View     `json:"view"`
+	Actions []policy.Action `json:"actions,omitempty"`
+	Exec    []policy.Exec   `json:"exec,omitempty"`
+}
+
+// Recorder streams a trace: the header at construction, then one line
+// per observed quantum. It implements policy.Tap, so attaching it to
+// an engine via SetTap records the run. Each record is written with a
+// single Write call — a crash mid-append leaves a torn tail the Reader
+// reports (and replays around), never a silently mixed line.
+//
+// Write failures latch: the first error sticks, later quanta are
+// dropped, and Err returns it so the run can surface a broken sink
+// once instead of once per quantum.
+type Recorder struct {
+	mu     sync.Mutex
+	w      io.Writer
+	quanta uint64
+	err    error
+}
+
+// NewRecorder writes the header line and returns the recorder. The
+// header's Version is stamped by the recorder; callers fill the rest.
+func NewRecorder(w io.Writer, h Header) (*Recorder, error) {
+	h.Version = Version
+	line, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encoding header: %w", err)
+	}
+	if _, err := w.Write(append(line, '\n')); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Recorder{w: w}, nil
+}
+
+// OnQuantum records one engine quantum; it implements policy.Tap.
+func (r *Recorder) OnQuantum(proc string, v policy.View, actions []policy.Action, exec []policy.Exec) {
+	rec := Quantum{Q: v.Quantum, Proc: proc, View: v, Actions: actions, Exec: exec}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		err = fmt.Errorf("trace: encoding quantum %d: %w", v.Quantum, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(append(line, '\n')); err != nil {
+		r.err = fmt.Errorf("trace: writing quantum %d: %w", v.Quantum, err)
+		return
+	}
+	r.quanta++
+}
+
+// Quanta returns the number of quantum records written so far.
+func (r *Recorder) Quanta() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.quanta
+}
+
+// Err returns the latched write error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Reader decodes a trace stream: Header first, then Next per quantum
+// record until io.EOF. Corruption — a garbage line, a torn tail —
+// surfaces as ErrCorrupt naming the 1-based line number; every record
+// returned before the error is valid, so callers can replay the intact
+// prefix.
+type Reader struct {
+	br      *bufio.Reader
+	line    int
+	hdr     Header
+	hdrDone bool
+	err     error
+}
+
+// NewReader wraps an ndjson trace stream.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// next returns the next line (1-based numbering), io.EOF at a clean
+// end. A final line without a trailing newline is returned as-is: if
+// it parses it was a complete record, and if not the parse failure
+// reports it as the torn tail it is.
+func (r *Reader) next() ([]byte, error) {
+	for {
+		line, err := r.br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("%w: reading line %d: %v", ErrCorrupt, r.line+1, err)
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			r.line++ // blank separator lines are tolerated, but numbered
+			continue
+		}
+		r.line++
+		return line, nil
+	}
+}
+
+// Header reads and validates the trace header (idempotently).
+func (r *Reader) Header() (Header, error) {
+	if r.hdrDone {
+		return r.hdr, r.err
+	}
+	r.hdrDone = true
+	line, err := r.next()
+	if err == io.EOF {
+		r.err = fmt.Errorf("%w: empty trace (missing header)", ErrCorrupt)
+		return Header{}, r.err
+	}
+	if err != nil {
+		r.err = err
+		return Header{}, r.err
+	}
+	var h Header
+	if jerr := json.Unmarshal(line, &h); jerr != nil {
+		r.err = fmt.Errorf("%w: line %d: bad header: %v", ErrCorrupt, r.line, jerr)
+		return Header{}, r.err
+	}
+	if h.Version != Version {
+		r.err = fmt.Errorf("%w: trace version %d, this reader supports %d", ErrVersion, h.Version, Version)
+		return Header{}, r.err
+	}
+	r.hdr = h
+	return h, nil
+}
+
+// Next returns the next quantum record, io.EOF at a clean end of
+// trace, or ErrCorrupt (with the line number) at a mangled line. The
+// first error latches: further calls keep returning it.
+func (r *Reader) Next() (Quantum, error) {
+	if !r.hdrDone {
+		if _, err := r.Header(); err != nil {
+			return Quantum{}, err
+		}
+	}
+	if r.err != nil {
+		return Quantum{}, r.err
+	}
+	line, err := r.next()
+	if err == io.EOF {
+		return Quantum{}, io.EOF
+	}
+	if err != nil {
+		r.err = err
+		return Quantum{}, r.err
+	}
+	var q Quantum
+	if jerr := json.Unmarshal(line, &q); jerr != nil {
+		r.err = fmt.Errorf("%w: line %d: bad quantum record: %v", ErrCorrupt, r.line, jerr)
+		return Quantum{}, r.err
+	}
+	return q, nil
+}
+
+// Line returns the number of the last line read (1-based; 0 before any
+// read), which for a just-returned error is the offending line.
+func (r *Reader) Line() int { return r.line }

@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// testHeader is a header for synthetic traces: write-threshold with a
+// small promotion threshold, paper-default migration costs.
+func testHeader() Header {
+	h := Header{
+		Key:                 "app=synth;gc=KG-N",
+		App:                 "synth",
+		Collector:           "KG-N",
+		Instances:           1,
+		Dataset:             "default",
+		Mode:                "emulation",
+		Seed:                7,
+		MigrationPageCycles: 1200,
+		TLBShootdownCycles:  4000,
+	}
+	h.SetPolicyConfig(policy.Config{Kind: policy.WriteThreshold, HotWriteLines: 100})
+	return h
+}
+
+// synthView builds a view with one hot PCM group (promotion bait for
+// write-threshold) and one cold DRAM group.
+func synthView(q uint64, hotWrites uint64) policy.View {
+	return policy.View{
+		Quantum: q,
+		Groups: []policy.GroupStat{
+			{Addr: 0x10000, Node: policy.DRAMNode, Pages: 16, WriteLines: 1},
+			{Addr: 0x20000, Node: policy.PCMNode, Pages: 16, WriteLines: hotWrites},
+		},
+		DRAMPages: 16,
+		PCMPages:  16,
+	}
+}
+
+// record builds a synthetic trace: n quanta, every view identical, the
+// recorded actions being what write-threshold decides (so replaying
+// write-threshold matches bit-identically).
+func record(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.NewPolicy(policy.WriteThreshold.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testHeader().PolicyConfig()
+	for q := 1; q <= n; q++ {
+		v := synthView(uint64(q), 500)
+		actions := pol.Decide(v, cfg)
+		exec := make([]policy.Exec, len(actions))
+		for i := range actions {
+			exec[i] = policy.Exec{Moved: 16, Stall: 16*1200 + 4000}
+		}
+		rec.OnQuantum("synth#0", v, actions, exec)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Quanta(); got != uint64(n) {
+		t.Fatalf("recorder counted %d quanta, want %d", got, n)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := record(t, 3)
+	r := NewReader(bytes.NewReader(data))
+	h, err := r.Header()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != Version || h.App != "synth" || h.Policy != "write-threshold" {
+		t.Errorf("header round trip: %+v", h)
+	}
+	want := testHeader()
+	want.Version = Version
+	if h != want {
+		t.Errorf("header = %+v, want %+v", h, want)
+	}
+	if got, want := h.PolicyConfig().HotWriteLines, uint64(100); got != want {
+		t.Errorf("PolicyConfig hot = %d, want %d", got, want)
+	}
+	for q := 1; q <= 3; q++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Q != uint64(q) || rec.Proc != "synth#0" {
+			t.Errorf("record %d: q=%d proc=%q", q, rec.Q, rec.Proc)
+		}
+		if !reflect.DeepEqual(rec.View, synthView(uint64(q), 500)) {
+			t.Errorf("record %d: view did not round trip: %+v", q, rec.View)
+		}
+		if len(rec.Actions) == 0 || len(rec.Exec) != len(rec.Actions) {
+			t.Errorf("record %d: %d actions, %d exec", q, len(rec.Actions), len(rec.Exec))
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("clean end err = %v, want io.EOF", err)
+	}
+}
+
+func TestReplayReproducesRecordedActions(t *testing.T) {
+	data := record(t, 4)
+	pol, _ := policy.NewPolicy(policy.WriteThreshold.String())
+	st, err := Replay(bytes.NewReader(data), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.MatchesRecorded {
+		t.Errorf("same-policy replay diverged at quantum %d", st.FirstMismatchQuantum)
+	}
+	if st.Quanta != 4 {
+		t.Errorf("quanta = %d, want 4", st.Quanta)
+	}
+	// Matching quanta charge the recorded executed costs: the first
+	// quantum promotes the hot group (16 pages); later quanta see it
+	// recorded on PCM again (identical synthetic views), so every
+	// quantum re-promotes.
+	if st.PagesMigrated != 4*16 {
+		t.Errorf("migrated = %d, want %d", st.PagesMigrated, 4*16)
+	}
+	if st.StallCycles != 4*(16*1200+4000) {
+		t.Errorf("stall = %g, want %d", st.StallCycles, 4*(16*1200+4000))
+	}
+	// The hot group is replayed onto DRAM at quantum 1, so its later
+	// window writes land on DRAM: only quantum 1's 500 lines count.
+	if st.PCMWriteLines != 500 {
+		t.Errorf("replayed PCM writes = %d, want 500", st.PCMWriteLines)
+	}
+	if st.BaselinePCMWriteLines != 4*500 {
+		t.Errorf("baseline PCM writes = %d, want %d", st.BaselinePCMWriteLines, 4*500)
+	}
+	if got := st.PCMWriteReduction(); got <= 0.7 {
+		t.Errorf("reduction = %g, want > 0.7", got)
+	}
+}
+
+func TestReplayDivergentPolicyEstimates(t *testing.T) {
+	data := record(t, 2)
+	// first-touch never migrates, so it diverges from the recorded
+	// write-threshold actions at the first quantum.
+	pol, _ := policy.NewPolicy(policy.FirstTouch.String())
+	st, err := Replay(bytes.NewReader(data), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MatchesRecorded || st.FirstMismatchQuantum != 1 {
+		t.Errorf("expected divergence at quantum 1, got %+v", st)
+	}
+	if st.Actions != 0 || st.PagesMigrated != 0 {
+		t.Errorf("first-touch replay migrated: %+v", st)
+	}
+	// Without migrations the replayed placement is the baseline.
+	if st.PCMWriteLines != st.BaselinePCMWriteLines {
+		t.Errorf("no-migration replay PCM writes %d != baseline %d",
+			st.PCMWriteLines, st.BaselinePCMWriteLines)
+	}
+}
+
+func TestEmptyTraceIsCorrupt(t *testing.T) {
+	for _, src := range []string{"", "\n\n"} {
+		r := NewReader(strings.NewReader(src))
+		if _, err := r.Header(); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("empty trace %q: err = %v, want ErrCorrupt", src, err)
+		}
+		pol, _ := policy.NewPolicy(policy.Static.String())
+		if _, err := Replay(strings.NewReader(src), pol); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("empty trace %q replay err = %v, want ErrCorrupt", src, err)
+		}
+	}
+}
+
+func TestVersionRejected(t *testing.T) {
+	data := record(t, 1)
+	// Rewrite the header's version field only.
+	skewed := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{"version":99,`), 1)
+	if bytes.Equal(skewed, data) {
+		t.Fatal("version field not found in header")
+	}
+	r := NewReader(bytes.NewReader(skewed))
+	if _, err := r.Header(); !errors.Is(err, ErrVersion) {
+		t.Errorf("version 99 err = %v, want ErrVersion", err)
+	}
+	// The error latches: Next keeps failing the same way.
+	if _, err := r.Next(); !errors.Is(err, ErrVersion) {
+		t.Errorf("Next after bad header err = %v, want ErrVersion", err)
+	}
+	// A missing version field reads as version 0: unknown, rejected.
+	noVersion := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{`), 1)
+	if _, err := NewReader(bytes.NewReader(noVersion)).Header(); !errors.Is(err, ErrVersion) {
+		t.Errorf("versionless header err = %v, want ErrVersion", err)
+	}
+}
+
+func TestGarbageMidFileReportsLineAndPreservesPrefix(t *testing.T) {
+	data := record(t, 3)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// lines: header, q1, q2, q3, "" — corrupt q2 (file line 3).
+	lines[2] = []byte("{\"q\": not json at all}\n")
+	corrupted := bytes.Join(lines, nil)
+
+	r := NewReader(bytes.NewReader(corrupted))
+	if _, err := r.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("prefix record: %v", err)
+	}
+	_, err := r.Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage line err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+	if r.Line() != 3 {
+		t.Errorf("Line() = %d, want 3", r.Line())
+	}
+	// The latch holds.
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err after corruption = %v, want latched ErrCorrupt", err)
+	}
+
+	// Replay of the valid prefix still works: one quantum's stats.
+	pol, _ := policy.NewPolicy(policy.WriteThreshold.String())
+	st, rerr := Replay(bytes.NewReader(corrupted), pol)
+	if !errors.Is(rerr, ErrCorrupt) {
+		t.Fatalf("replay err = %v, want ErrCorrupt", rerr)
+	}
+	if st.Quanta != 1 || st.PagesMigrated != 16 || !st.MatchesRecorded {
+		t.Errorf("prefix replay stats = %+v, want 1 matching quantum", st)
+	}
+}
+
+func TestTruncatedTailReportsLineAndPreservesPrefix(t *testing.T) {
+	data := record(t, 2)
+	// Chop the final record mid-line: the crash-mid-append signature.
+	cut := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1 + 10
+	truncated := data[:cut]
+
+	pol, _ := policy.NewPolicy(policy.WriteThreshold.String())
+	st, err := Replay(bytes.NewReader(truncated), pol)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn tail err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+	if st.Quanta != 1 || st.PagesMigrated != 16 {
+		t.Errorf("prefix replay stats = %+v, want the intact first quantum", st)
+	}
+}
+
+// failingWriter fails every write after the first n bytes.
+type failingWriter struct {
+	n int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, fmt.Errorf("sink full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestRecorderLatchesWriteErrors(t *testing.T) {
+	if _, err := NewRecorder(&failingWriter{}, testHeader()); err == nil {
+		t.Error("unwritable header must fail NewRecorder")
+	}
+	rec, err := NewRecorder(&failingWriter{n: 4096}, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 1; q <= 100; q++ {
+		rec.OnQuantum("p", synthView(uint64(q), 500), nil, nil)
+	}
+	if rec.Err() == nil {
+		t.Error("write failure did not latch")
+	}
+	if rec.Quanta() >= 100 {
+		t.Error("quanta kept counting past the failure")
+	}
+}
+
+func TestReplayNilPolicy(t *testing.T) {
+	if _, err := Replay(bytes.NewReader(record(t, 1)), nil); err == nil {
+		t.Error("nil policy must fail")
+	}
+}

@@ -2,6 +2,7 @@ package hybridmem
 
 import (
 	"errors"
+	"sort"
 	"testing"
 )
 
@@ -154,5 +155,35 @@ func TestModeStringRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseMode(""); !errors.Is(err, ErrUnknownMode) {
 		t.Errorf("empty mode err = %v, want ErrUnknownMode", err)
+	}
+}
+
+// TestPoliciesOrderStable pins the policy listing order: kind order,
+// static first. ParsePolicy's fold/alias coverage never asserted the
+// listing itself, but CLI help text, GET /v1/policies, and RunSweep's
+// policy-major result layout all index into this order — a silent
+// reshuffle would misattribute every policy-swept result.
+func TestPoliciesOrderStable(t *testing.T) {
+	want := []string{"static", "first-touch", "write-threshold", "wear-level"}
+	got := Policies()
+	if len(got) != len(want) {
+		t.Fatalf("Policies() = %d entries, want %d", len(got), len(want))
+	}
+	for i, pol := range got {
+		if pol.String() != want[i] {
+			t.Errorf("Policies()[%d] = %q, want %q", i, pol, want[i])
+		}
+		if pol != Policy(i) {
+			t.Errorf("Policies()[%d] = kind %d, want kind order", i, int(pol))
+		}
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("Policies() is not sorted by kind")
+	}
+	// The listing is a fresh slice per call: callers may sort or trim
+	// their copy without corrupting everyone else's.
+	got[0] = WearLevel
+	if again := Policies(); again[0] != Static {
+		t.Error("mutating the returned slice leaked into the next call")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strconv"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/policy"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 	"repro/internal/workloads/all"
 	"repro/internal/workloads/graphchi"
@@ -35,6 +37,13 @@ var (
 	ErrUnknownMode = errors.New("hybridmem: unknown mode")
 	// ErrUnknownPolicy reports an unparseable placement-policy name.
 	ErrUnknownPolicy = errors.New("hybridmem: unknown policy")
+	// ErrTraceVersion reports a trace written by an incompatible
+	// schema version; re-record it with this build.
+	ErrTraceVersion = trace.ErrVersion
+	// ErrTraceCorrupt reports an unreadable trace — a mangled header,
+	// a garbage line, or a torn tail. The message names the offending
+	// line; replay results for the valid prefix are still returned.
+	ErrTraceCorrupt = trace.ErrCorrupt
 )
 
 // ParseCollector resolves a collector by its paper name ("PCM-Only",
@@ -148,6 +157,7 @@ type config struct {
 	parallelism    int
 	storeDir       string
 	policy         policy.Config
+	traceSink      io.Writer
 }
 
 // defaultConfig mirrors core.DefaultOptions: emulation pipeline,
@@ -274,6 +284,23 @@ func WithPolicy(k Policy) Option {
 // their identity is process-local, so persisted entries could not be
 // told apart from a different factory's in the next process.
 func WithStore(dir string) Option { return func(c *config) { c.storeDir = dir } }
+
+// WithTrace streams a per-quantum placement trace into w: a versioned
+// ndjson stream opening with a header (spec key, seed, policy knobs,
+// migration costs) followed by one record per policy-engine quantum —
+// the full View the policy saw, the Actions it emitted, and the
+// executed migration costs. Traces recorded here replay offline
+// through ReplayTrace and cmd/policyreplay, so new policies are
+// prototyped against recorded views without re-running the emulator.
+//
+// A traced Run always computes: it bypasses the result cache and the
+// durable store in both directions, because a cached Result has no
+// quanta to record. The Result itself stays bit-identical to an
+// untraced run — tracing only adds bookkeeping. One sink serves one
+// run at a time: trace single specs, not RunBatch grids, or records
+// from concurrent runs would interleave. nil detaches tracing on a
+// derived platform.
+func WithTrace(w io.Writer) Option { return func(c *config) { c.traceSink = w } }
 
 // Platform is a reusable, concurrent-safe experiment engine: one
 // platform configuration plus a result cache (and optional durable
@@ -652,6 +679,19 @@ func (p *Platform) Run(ctx context.Context, spec RunSpec) (Result, error) {
 	// with live contexts share them.
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
+	}
+	if p.cfg.traceSink != nil {
+		// A traced run must actually run — a Result served from the
+		// cache or the store has no quanta to record — so it bypasses
+		// both tiers in both directions and computes unconditionally.
+		opts := p.coreOptions()
+		opts.TraceSink = p.cfg.traceSink
+		opts.TraceKey = p.key(spec).canonical()
+		res, err := core.Run(opts, spec)
+		if err != nil {
+			return Result{}, fmt.Errorf("hybridmem: %s: %w", specLabel(spec), err)
+		}
+		return res, nil
 	}
 	key := p.key(spec)
 

@@ -1,0 +1,92 @@
+package hybridmem
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenTracePath is the committed quick-scale GraphChi trace: PR
+// under KG-N with the write-threshold policy, seed 1.
+const goldenTracePath = "testdata/traces/pr_kgn_write-threshold_quick.ndjson"
+
+// goldenTraceBytes records the golden trace's run afresh.
+func goldenTraceBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	p := New(WithScale(Quick), WithSeed(1), WithPolicy(WriteThreshold), WithTrace(&buf))
+	if _, err := p.Run(context.Background(), RunSpec{AppName: "PR", Collector: KGN}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceGolden freezes the trace schema and the recorder's
+// determinism in one artifact: re-recording the golden run must
+// reproduce the committed trace byte-for-byte. A failure means either
+// the trace wire format changed (bump trace.Version, regenerate with
+// `go test -run TestTraceGolden -update`, and flag it in review) or
+// recording stopped being deterministic (a bug — do not regenerate).
+func TestTraceGolden(t *testing.T) {
+	got := goldenTraceBytes(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("recorded trace drifted from %s (%d bytes recorded, %d committed); "+
+			"if the schema change is deliberate, bump trace.Version and rerun with -update",
+			goldenTracePath, len(got), len(want))
+	}
+}
+
+// TestTraceGoldenReplays locks the committed artifact to the replay
+// semantics: the frozen trace must keep replaying bit-identically
+// under its own policy with today's code, so a Decide change that
+// would invalidate recorded traces fails here even if recording and
+// replaying stay mutually consistent.
+func TestTraceGoldenReplays(t *testing.T) {
+	data, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayTrace(bytes.NewReader(data), WriteThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.MatchesRecorded {
+		t.Errorf("golden trace no longer replays bit-identically (diverged at quantum %d)",
+			st.FirstMismatchQuantum)
+	}
+	if st.Quanta == 0 || st.PagesMigrated == 0 {
+		t.Errorf("golden trace replayed to nothing: %+v", st)
+	}
+}
+
+// TestTraceGoldenVersionRejected asserts the committed trace's header
+// guards its schema: the same bytes with an unknown version number
+// must be rejected with ErrTraceVersion, not misread.
+func TestTraceGoldenVersionRejected(t *testing.T) {
+	data, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{"version":2,`), 1)
+	if bytes.Equal(skewed, data) {
+		t.Fatal("golden trace header lost its version field")
+	}
+	if _, err := ReplayTrace(bytes.NewReader(skewed), WriteThreshold); !errors.Is(err, ErrTraceVersion) {
+		t.Errorf("future-version trace err = %v, want ErrTraceVersion", err)
+	}
+}

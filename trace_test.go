@@ -1,0 +1,204 @@
+package hybridmem
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// traceSpec is the differential suite's workload: a GraphChi run at
+// quick scale, where the migrating policies do real work.
+func traceSpec() RunSpec { return RunSpec{AppName: "PR", Collector: KGN} }
+
+// recordTrace runs spec on a traced platform and returns the live
+// Result plus the recorded trace bytes.
+func recordTrace(t *testing.T, pol Policy, spec RunSpec) (Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	p := New(WithScale(Quick), WithSeed(11), WithPolicy(pol), WithTrace(&buf))
+	res, err := p.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestTraceReplayDifferential is the subsystem's core invariant, the
+// live-vs-replay validation in the spirit of the paper's emulator
+// cross-checks: for each built-in migrating policy, replaying a
+// recorded trace with the policy that produced it reproduces the
+// recorded action stream bit-identically and lands on exactly the
+// live run's migration totals. The non-migrating policies ride along:
+// their traces replay to zero actions.
+func TestTraceReplayDifferential(t *testing.T) {
+	for _, pol := range Policies() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			live, data := recordTrace(t, pol, traceSpec())
+			st, err := ReplayTrace(bytes.NewReader(data), pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.MatchesRecorded {
+				t.Errorf("replay diverged from recorded actions at quantum %d", st.FirstMismatchQuantum)
+			}
+			if st.PagesMigrated != live.PagesMigrated {
+				t.Errorf("replayed migrations = %d, live Result.PagesMigrated = %d",
+					st.PagesMigrated, live.PagesMigrated)
+			}
+			if got, want := uint64(st.StallCycles+0.5), live.MigrationStallCycles; got != want {
+				t.Errorf("replayed stall cycles = %d, live = %d", got, want)
+			}
+			if st.Quanta == 0 {
+				t.Error("trace recorded no quanta")
+			}
+			if pol == WriteThreshold || pol == WearLevel {
+				if live.PagesMigrated == 0 {
+					t.Errorf("%s migrated nothing; the differential proves nothing", pol)
+				}
+			} else if st.Actions != 0 {
+				t.Errorf("%s replay emitted %d actions, want none", pol, st.Actions)
+			}
+			// The recorded header identifies the run.
+			hdr, err := trace.NewReader(bytes.NewReader(data)).Header()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hdr.Policy != pol.String() || hdr.App != "PR" || hdr.Seed != 11 {
+				t.Errorf("header = %+v", hdr)
+			}
+			if want := New(WithScale(Quick), WithSeed(11), WithPolicy(pol)).SpecKey(traceSpec()); hdr.Key != want {
+				t.Errorf("header key = %q, want %q", hdr.Key, want)
+			}
+		})
+	}
+}
+
+// TestTraceReplayMatchesRunBatch closes the loop with the batch
+// engine: the replayed migration counts must equal what RunBatch —
+// computing the same spec on a fresh, untraced platform, under the
+// worker pool — reports in its Result.
+func TestTraceReplayMatchesRunBatch(t *testing.T) {
+	for _, pol := range []Policy{WriteThreshold, WearLevel} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			_, data := recordTrace(t, pol, traceSpec())
+			st, err := ReplayTrace(bytes.NewReader(data), pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := New(WithScale(Quick), WithSeed(11), WithPolicy(pol)).
+				RunBatch(context.Background(), traceSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.PagesMigrated != batch[0].PagesMigrated {
+				t.Errorf("replayed migrations = %d, RunBatch live = %d",
+					st.PagesMigrated, batch[0].PagesMigrated)
+			}
+		})
+	}
+}
+
+// TestTracedResultBitIdentical pins the perturbation-freedom contract:
+// attaching a trace sink must not change the Result — tracing is
+// bookkeeping, not workload.
+func TestTracedResultBitIdentical(t *testing.T) {
+	for _, pol := range []Policy{Static, WriteThreshold} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			traced, _ := recordTrace(t, pol, traceSpec())
+			plain, err := New(WithScale(Quick), WithSeed(11), WithPolicy(pol)).
+				Run(context.Background(), traceSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(traced, plain) {
+				t.Errorf("traced Result diverged from untraced\ntraced: %+v\nplain:  %+v", traced, plain)
+			}
+		})
+	}
+}
+
+// TestTracedRunBypassesCache pins WithTrace's always-compute rule: a
+// platform whose cache already holds the spec still records a full
+// trace, and traced runs leave no cache entries behind.
+func TestTracedRunBypassesCache(t *testing.T) {
+	ctx := context.Background()
+	spec := RunSpec{AppName: "lusearch", Collector: KGN}
+	p := New(WithScale(Quick), WithSeed(3), WithPolicy(WriteThreshold))
+	if _, err := p.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	warm := p.CacheStats()
+
+	var buf bytes.Buffer
+	if _, err := p.With(WithTrace(&buf)).Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReplayTrace(bytes.NewReader(buf.Bytes()), WriteThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quanta == 0 {
+		t.Error("traced rerun recorded no quanta: it was served from the cache")
+	}
+	after := p.CacheStats()
+	if after.Hits != warm.Hits || after.Misses != warm.Misses || after.Entries != warm.Entries {
+		t.Errorf("traced run touched the cache: before %+v, after %+v", warm, after)
+	}
+}
+
+// TestReplayTraceTypedErrors pins the facade's trace error surface.
+func TestReplayTraceTypedErrors(t *testing.T) {
+	if _, err := ReplayTrace(strings.NewReader(""), WriteThreshold); !errors.Is(err, ErrTraceCorrupt) {
+		t.Errorf("empty trace err = %v, want ErrTraceCorrupt", err)
+	}
+	if _, err := ReplayTrace(strings.NewReader(`{"version":99}`+"\n"), WriteThreshold); !errors.Is(err, ErrTraceVersion) {
+		t.Errorf("skewed trace err = %v, want ErrTraceVersion", err)
+	}
+	if _, err := ReplayTrace(strings.NewReader(""), Policy(99)); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("bad policy err = %v, want ErrUnknownPolicy", err)
+	}
+}
+
+// TestTraceReplayDifferentialMultiInstance repeats the differential
+// check for a multiprogrammed run. Instances share one virtual heap
+// layout, so group addresses collide across processes; the replayer
+// must key its placement accounting per process (Quantum.Proc) and
+// still reproduce the live engine's totals exactly.
+func TestTraceReplayDifferentialMultiInstance(t *testing.T) {
+	spec := RunSpec{AppName: "lusearch", Collector: KGN, Instances: 2}
+	live, data := recordTrace(t, WriteThreshold, spec)
+	st, err := ReplayTrace(bytes.NewReader(data), WriteThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.MatchesRecorded {
+		t.Errorf("x2 replay diverged from recorded actions at quantum %d", st.FirstMismatchQuantum)
+	}
+	if st.PagesMigrated != live.PagesMigrated {
+		t.Errorf("x2 replayed migrations = %d, live = %d", st.PagesMigrated, live.PagesMigrated)
+	}
+	// Both processes' quanta are in the stream, tagged by process.
+	r := trace.NewReader(bytes.NewReader(data))
+	if _, err := r.Header(); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[string]bool{}
+	for {
+		q, err := r.Next()
+		if err != nil {
+			break
+		}
+		procs[q.Proc] = true
+	}
+	if len(procs) != 2 {
+		t.Errorf("trace names %d processes (%v), want 2", len(procs), procs)
+	}
+}
