@@ -1,0 +1,210 @@
+package hybridmem
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// readGoldenTrace loads the committed PR/KG-N write-threshold trace
+// (quick scale, seed 1) the autotuner tests price grids against.
+func readGoldenTrace(t *testing.T) []byte {
+	t.Helper()
+	data, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestReplayKnobInjectionDefaultIsRecorded pins the no-regression half
+// of knob injection: replaying the golden trace with the registry
+// default knobs (what the recording ran under) must reproduce the
+// recorded action stream bit-identically and land on exactly the
+// recorded totals — the same contract ReplayTrace already gives, now
+// through the injected-Config path.
+func TestReplayKnobInjectionDefaultIsRecorded(t *testing.T) {
+	data := readGoldenTrace(t)
+	want, err := ReplayTrace(bytes.NewReader(data), WriteThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReplayTraceWith(bytes.NewReader(data), PolicyConfig{Kind: WriteThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MatchesRecorded {
+		t.Errorf("default-knob replay diverged from the recorded stream at quantum %d",
+			got.FirstMismatchQuantum)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("injected-default replay = %+v\nheader-knob replay = %+v", got, want)
+	}
+}
+
+// TestReplayKnobInjectionLowerThresholdPromotesMore asserts the knob
+// actually reaches the decisions: a lower hot threshold admits more
+// groups to the hot set, so promotions are strictly monotone
+// decreasing as the threshold rises (256 → 2100 → 3000 on the golden
+// trace, the last two binding below the per-quantum action cap).
+func TestReplayKnobInjectionLowerThresholdPromotesMore(t *testing.T) {
+	data := readGoldenTrace(t)
+	actions := func(hot uint64) uint64 {
+		t.Helper()
+		st, err := ReplayTraceWith(bytes.NewReader(data),
+			PolicyConfig{Kind: WriteThreshold, HotWriteLines: hot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Actions
+	}
+	low, mid, high := actions(256), actions(2100), actions(3000)
+	if !(low > mid && mid > high && high > 0) {
+		t.Errorf("promotions not strictly monotone in the hot threshold: hot=256 -> %d, hot=2100 -> %d, hot=3000 -> %d",
+			low, mid, high)
+	}
+}
+
+// TestAutotuneGoldenDeterministicFrontier pins the autotuner's output
+// on the committed trace: two searches of the same grid are identical,
+// the frontier is non-empty, every frontier point is flagged on the
+// full point list, and the frontier's order is the stable objective
+// order (stall ascending), not the grid's enumeration order — a
+// tighter threshold entering the grid reorders the frontier
+// deterministically.
+func TestAutotuneGoldenDeterministicFrontier(t *testing.T) {
+	data := readGoldenTrace(t)
+	grid := KnobGrid{Policy: WriteThreshold, HotWriteLines: []uint64{2100, 3000}}
+	ctx := context.Background()
+	rep, err := Autotune(ctx, bytes.NewReader(data), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Autotune(ctx, bytes.NewReader(data), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		t.Fatal("two identical autotune searches disagree")
+	}
+	if len(rep.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Grid order enumerates hot=2100 first; the frontier's stable
+	// order leads with the lower-stall hot=3000 point instead.
+	if rep.Points[0].HotWriteLines != 2100 {
+		t.Fatalf("grid order drifted: first point %+v", rep.Points[0])
+	}
+	if rep.Frontier[0].HotWriteLines != 3000 {
+		t.Fatalf("frontier not in stall-ascending order: first point %+v", rep.Frontier[0])
+	}
+	for i := 1; i < len(rep.Frontier); i++ {
+		if rep.Frontier[i].StallCycles < rep.Frontier[i-1].StallCycles {
+			t.Fatalf("frontier unsorted at %d: %+v", i, rep.Frontier)
+		}
+	}
+	flagged := 0
+	for _, pt := range rep.Points {
+		if pt.Pareto {
+			flagged++
+		}
+	}
+	if flagged != len(rep.Frontier) {
+		t.Errorf("%d points flagged Pareto, frontier has %d", flagged, len(rep.Frontier))
+	}
+	if !rep.Recommended.Pareto || !rep.Recommended.Recommended {
+		t.Errorf("recommended point not flagged: %+v", rep.Recommended)
+	}
+}
+
+// TestAutotuneRecommendedMatchesLive is the end-to-end acceptance
+// check: the recommended knob point of a grid searched offline against
+// the committed golden trace must, when run live at quick scale,
+// reproduce the replay's predicted PagesMigrated and StallCycles
+// exactly, and the predicted stall ranking across all grid points must
+// match the live ranking.
+func TestAutotuneRecommendedMatchesLive(t *testing.T) {
+	data := readGoldenTrace(t)
+	ctx := context.Background()
+	grid := KnobGrid{Policy: WriteThreshold,
+		HotWriteLines:   []uint64{256, 3000},
+		DRAMBudgetPages: []uint64{16384, 32768}}
+	rep, err := Autotune(ctx, bytes.NewReader(data), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := New(WithScale(Quick), WithSeed(1))
+	spec := RunSpec{AppName: "PR", Collector: KGN}
+	liveStalls := make([]uint64, len(rep.Points))
+	for i, pt := range rep.Points {
+		res, err := p.With(WithPolicyConfig(pt.Config())).Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveStalls[i] = res.MigrationStallCycles
+		if pt.Recommended {
+			if res.PagesMigrated != pt.PagesMigrated {
+				t.Errorf("recommended point %+v: live PagesMigrated = %d, replay predicted %d",
+					pt.Config(), res.PagesMigrated, pt.PagesMigrated)
+			}
+			if float64(res.MigrationStallCycles) != pt.StallCycles {
+				t.Errorf("recommended point %+v: live stalls = %d, replay predicted %.0f",
+					pt.Config(), res.MigrationStallCycles, pt.StallCycles)
+			}
+		}
+	}
+	// The predicted stall ordering must survive live measurement: no
+	// strictly inverted pair.
+	for i := range rep.Points {
+		for j := i + 1; j < len(rep.Points); j++ {
+			predLess := rep.Points[i].StallCycles < rep.Points[j].StallCycles
+			predMore := rep.Points[i].StallCycles > rep.Points[j].StallCycles
+			if (predLess && liveStalls[i] > liveStalls[j]) || (predMore && liveStalls[i] < liveStalls[j]) {
+				t.Errorf("stall ranking inverted between points %d (%+v) and %d (%+v): predicted %.0f vs %.0f, live %d vs %d",
+					i, rep.Points[i].Config(), j, rep.Points[j].Config(),
+					rep.Points[i].StallCycles, rep.Points[j].StallCycles, liveStalls[i], liveStalls[j])
+			}
+		}
+	}
+}
+
+// TestAutotuneCorruptTraceReturnsPrefixReport mirrors policyreplay's
+// corruption contract: a garbage tail truncates every grid point at
+// the same line, the prefix report is still produced (internally
+// comparable), and the error is ErrTraceCorrupt.
+func TestAutotuneCorruptTraceReturnsPrefixReport(t *testing.T) {
+	data := readGoldenTrace(t)
+	corrupt := append(append([]byte{}, data...), []byte("{torn")...)
+	rep, err := Autotune(context.Background(), bytes.NewReader(corrupt),
+		KnobGrid{Policy: WriteThreshold, HotWriteLines: []uint64{256, 3000}})
+	if !errors.Is(err, ErrTraceCorrupt) {
+		t.Fatalf("err = %v, want ErrTraceCorrupt", err)
+	}
+	if len(rep.Points) != 2 || len(rep.Frontier) == 0 {
+		t.Fatalf("prefix report missing: %d points, %d frontier", len(rep.Points), len(rep.Frontier))
+	}
+	for _, pt := range rep.Points {
+		if pt.Quanta == 0 {
+			t.Errorf("point %+v priced zero prefix quanta", pt.Config())
+		}
+	}
+}
+
+// TestAutotuneVersionSkewFailsUpFront: an incompatible trace version
+// must reject the whole search before any point is priced.
+func TestAutotuneVersionSkewFailsUpFront(t *testing.T) {
+	data := readGoldenTrace(t)
+	skewed := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{"version":99,`), 1)
+	rep, err := Autotune(context.Background(), bytes.NewReader(skewed),
+		KnobGrid{Policy: WriteThreshold})
+	if !errors.Is(err, ErrTraceVersion) {
+		t.Fatalf("err = %v, want ErrTraceVersion", err)
+	}
+	if len(rep.Points) != 0 {
+		t.Fatalf("version-skewed search still priced %d points", len(rep.Points))
+	}
+}

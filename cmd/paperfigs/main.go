@@ -12,10 +12,14 @@
 // graphs, 4x large datasets, 5-app DaCapo subset for the
 // multiprogrammed figures), full (the paper's sizes; slow).
 //
-// -policy re-runs every grid under a dynamic placement policy. The
-// "policies" step — a placement-policy comparison table over the
-// GraphChi workloads — goes beyond the paper's evaluation and only
-// runs when named in -only.
+// -policy re-runs every grid under a dynamic placement policy. Two
+// steps go beyond the paper's evaluation and only run when named in
+// -only: "policies" (a placement-policy comparison table over the
+// GraphChi workloads) and "autotune" (the trace-driven knob search:
+// record one traced run, price a knob grid offline by replay, then
+// validate every grid point with a live emulator run and check the
+// predicted stall ranking and the recommended point's estimate
+// tolerance).
 package main
 
 import (
@@ -35,7 +39,7 @@ func main() {
 	scale := flag.String("scale", "std", "input scale: quick, std, or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	parallel := flag.Int("parallel", 0, "concurrent platform runs (0 = one per core)")
-	only := flag.String("only", "", "comma-separated subset (tableI,tableII,tableIII,fig3,fig4,fig5,fig6,fig7,fig8,ablations,policies)")
+	only := flag.String("only", "", "comma-separated subset (tableI,tableII,tableIII,fig3,fig4,fig5,fig6,fig7,fig8,ablations,policies,autotune)")
 	policyName := flag.String("policy", "static", "placement policy the grids run under")
 	storeDir := flag.String("store", "", "durable result store directory: reruns and -only subsets replay finished runs from disk instead of recomputing")
 	flag.Parse()
@@ -175,6 +179,18 @@ func main() {
 	if want["policies"] {
 		step("policies", func() (string, error) {
 			res, err := r.AblationPolicies(ctx)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		})
+	}
+	// The trace-driven autotune workflow (record once, price a knob
+	// grid offline, validate every point live) also goes beyond the
+	// paper and only runs when named in -only.
+	if want["autotune"] {
+		step("autotune", func() (string, error) {
+			res, err := r.Autotune(ctx)
 			if err != nil {
 				return "", err
 			}

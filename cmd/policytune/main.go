@@ -1,0 +1,227 @@
+// Command policytune searches a placement-policy knob grid over a
+// recorded trace, entirely offline: one emulator run (the recording)
+// prices the whole grid, one replay per point, and the output is the
+// Pareto-optimal frontier on (migration stalls, PCM write placement)
+// plus a recommended knob set.
+//
+// Usage:
+//
+//	policytune -trace run.ndjson [-policy write-threshold]
+//	           [-hot 64,128,256] [-cold 0,8] [-budget 16384,32768]
+//	           [-wear 1.5,2,3] [-ndjson frontier.ndjson]
+//
+// Record traces with `hybridemu -trace out.ndjson ...` or stream them
+// from hybridserved (`GET /v1/trace?...`); "-" reads the trace from
+// stdin. Each -hot/-cold/-budget/-wear flag lists that knob's grid
+// values (comma separated); omitted knobs stay at their registry
+// defaults, so `-hot 64,128,256 -budget 16384,32768` is a 3x2 grid.
+//
+// The table prints every evaluated point in grid order with its
+// replayed cost model; frontier members are marked pareto (the
+// recommended point "pareto*"), and the recommended knob set repeats
+// on a closing line. -ndjson additionally writes the frontier, one
+// JSON point per line in the frontier's stable order, for downstream
+// tooling (the CI smoke step uploads it as an artifact). Validate a
+// tuned point live with
+// `hybridemu -policy <kind> ...` on a platform built with
+// hybridmem.WithPolicyConfig, or through paperfigs's autotune step.
+//
+// Exit status: 0 on success, 1 when the trace is corrupt (every point
+// prices the same valid prefix, so the partial frontier is still
+// printed) or the search fails, 2 on bad flags, an unreadable trace
+// path, an invalid grid, or a version-skewed trace.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	hybridmem "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its exit code surfaced, so the CLI contract (0 ok,
+// 1 corrupt trace with partial frontier, 2 bad flags) is testable.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("policytune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tracePath := fs.String("trace", "", "recorded ndjson trace (hybridemu -trace); - for stdin")
+	policyName := fs.String("policy", "write-threshold", "policy to tune: write-threshold or wear-level (any built-in accepted)")
+	hot := fs.String("hot", "", "comma-separated HotWriteLines grid values (empty = registry default)")
+	cold := fs.String("cold", "", "comma-separated ColdWriteLines grid values")
+	budget := fs.String("budget", "", "comma-separated DRAMBudgetPages grid values")
+	wear := fs.String("wear", "", "comma-separated WearFactor grid values")
+	ndjsonPath := fs.String("ndjson", "", "also write the frontier as ndjson to this file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "policytune: %v\n", err)
+		return 2
+	}
+
+	if *tracePath == "" {
+		return fail(errors.New("-trace is required (record one with hybridemu -trace)"))
+	}
+	grid := hybridmem.KnobGrid{}
+	pol, err := hybridmem.ParsePolicy(*policyName)
+	if err != nil {
+		return fail(err)
+	}
+	grid.Policy = pol
+	if grid.HotWriteLines, err = parseUints(*hot); err != nil {
+		return fail(fmt.Errorf("-hot: %w", err))
+	}
+	if grid.ColdWriteLines, err = parseUints(*cold); err != nil {
+		return fail(fmt.Errorf("-cold: %w", err))
+	}
+	if grid.DRAMBudgetPages, err = parseUints(*budget); err != nil {
+		return fail(fmt.Errorf("-budget: %w", err))
+	}
+	if grid.WearFactors, err = parseFloats(*wear); err != nil {
+		return fail(fmt.Errorf("-wear: %w", err))
+	}
+	if err := grid.Validate(); err != nil {
+		return fail(err)
+	}
+
+	var data []byte
+	if *tracePath == "-" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(*tracePath)
+	}
+	if err != nil {
+		return fail(fmt.Errorf("reading trace: %w", err))
+	}
+	// Read the header up front so a version-skewed or headless trace
+	// exits 2 before any table is printed, mirroring policyreplay.
+	hdr, err := trace.NewReader(bytes.NewReader(data)).Header()
+	if err != nil {
+		return fail(err)
+	}
+	lang := hdr.Collector
+	if hdr.Native {
+		lang = "native"
+	}
+	fmt.Fprintf(stdout, "trace: %s/%s x%d (%s, %s, seed %d), recorded policy %s\n",
+		hdr.App, lang, hdr.Instances, hdr.Dataset, hdr.Mode, hdr.Seed, hdr.Policy)
+
+	rep, runErr := hybridmem.Autotune(context.Background(), bytes.NewReader(data), grid)
+	if runErr != nil && !errors.Is(runErr, hybridmem.ErrTraceCorrupt) {
+		fmt.Fprintf(stderr, "policytune: %v\n", runErr)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "%-8s %-8s %-10s %-6s %8s %10s %14s %14s %8s %s\n",
+		"hot", "cold", "budget", "wear", "actions", "migrated", "stall-cycles", "pcm-writes", "vs-base", "frontier")
+	for _, pt := range rep.Points {
+		mark := "-"
+		if pt.Pareto {
+			mark = "pareto"
+		}
+		if pt.Recommended {
+			mark = "pareto*"
+		}
+		fmt.Fprintf(stdout, "%-8d %-8d %-10d %-6g %8d %10d %14.0f %14d %7.1f%% %s\n",
+			pt.HotWriteLines, pt.ColdWriteLines, pt.DRAMBudgetPages, pt.WearFactor,
+			pt.Actions, pt.PagesMigrated, pt.StallCycles, pt.PCMWriteLines,
+			100*pt.PCMWriteReduction, mark)
+	}
+	if len(rep.Frontier) > 0 {
+		r := rep.Recommended
+		fmt.Fprintf(stdout, "frontier: %d of %d points; recommended: %s hot=%d cold=%d budget=%d wear=%g "+
+			"(est. %d pages migrated, %.0f stall cycles, %.1f%% PCM write reduction)\n",
+			len(rep.Frontier), len(rep.Points), r.Policy, r.HotWriteLines, r.ColdWriteLines,
+			r.DRAMBudgetPages, r.WearFactor, r.PagesMigrated, r.StallCycles, 100*r.PCMWriteReduction)
+	}
+
+	if *ndjsonPath != "" {
+		out := stdout
+		var f *os.File
+		if *ndjsonPath != "-" {
+			f, err = os.Create(*ndjsonPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "policytune: %v\n", err)
+				return 1
+			}
+			out = f
+		}
+		if err := writeNDJSON(out, rep.Frontier); err != nil {
+			fmt.Fprintf(stderr, "policytune: writing ndjson: %v\n", err)
+			return 1
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "policytune: closing ndjson: %v\n", err)
+				return 1
+			}
+		}
+	}
+
+	if runErr != nil {
+		// Corrupt tail: the frontier above covers the valid prefix.
+		fmt.Fprintf(stderr, "policytune: %v\n", runErr)
+		return 1
+	}
+	return 0
+}
+
+// writeNDJSON streams the frontier, one JSON point per line.
+func writeNDJSON(w io.Writer, points []hybridmem.KnobPoint) error {
+	for _, pt := range points {
+		line, err := json.Marshal(pt)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseUints parses a comma-separated uint64 list ("" = nil).
+func parseUints(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float64 list ("" = nil).
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

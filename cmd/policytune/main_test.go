@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenTrace is the committed quick-scale GraphChi trace the facade's
+// golden tests freeze.
+const goldenTrace = "../../testdata/traces/pr_kgn_write-threshold_quick.ndjson"
+
+// tune runs the CLI against the golden trace bytes with extra args and
+// returns (exit code, stdout, stderr).
+func tune(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(""), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSuccessPrintsFrontierAndRecommendation(t *testing.T) {
+	code, out, errOut := tune(t, "-trace", goldenTrace, "-hot", "2100,3000", "-budget", "16384,32768")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "pareto*") {
+		t.Errorf("no recommended marker in output:\n%s", out)
+	}
+	if !strings.Contains(out, "recommended: write-threshold") {
+		t.Errorf("no recommendation line in output:\n%s", out)
+	}
+	if !strings.Contains(out, "recorded policy write-threshold") {
+		t.Errorf("no trace identity line in output:\n%s", out)
+	}
+}
+
+func TestNDJSONWritesFrontier(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frontier.ndjson")
+	code, _, errOut := tune(t, "-trace", goldenTrace, "-hot", "2100,3000", "-ndjson", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || !strings.Contains(lines[0], `"pareto":true`) {
+		t.Errorf("frontier ndjson = %q", string(data))
+	}
+}
+
+func TestBadFlagsExit2(t *testing.T) {
+	cases := [][]string{
+		{},                                     // missing -trace
+		{"-trace", goldenTrace, "-hot", "abc"}, // unparsable grid value
+		{"-trace", goldenTrace, "-hot", "0"},   // invalid grid value (default collision)
+		{"-trace", goldenTrace, "-wear", "-1"}, // invalid wear factor
+		{"-trace", goldenTrace, "-policy", "no-such-policy"},
+		{"-trace", filepath.Join(t.TempDir(), "missing.ndjson")}, // unreadable path
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := tune(t, args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestVersionSkewExits2(t *testing.T) {
+	data, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{"version":99,`), 1)
+	path := filepath.Join(t.TempDir(), "skewed.ndjson")
+	if err := os.WriteFile(path, skewed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := tune(t, "-trace", path); code != 2 {
+		t.Errorf("version-skewed trace: exit = %d, want 2", code)
+	}
+}
+
+func TestCorruptTraceExits1WithPartialFrontier(t *testing.T) {
+	data, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "torn.ndjson")
+	if err := os.WriteFile(path, append(data, []byte("{torn")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := tune(t, "-trace", path, "-hot", "2100,3000")
+	if code != 1 {
+		t.Fatalf("corrupt trace: exit = %d, want 1 (stderr: %s)", code, errOut)
+	}
+	// The valid prefix is still searched and reported.
+	if !strings.Contains(out, "frontier:") || !strings.Contains(out, "pareto*") {
+		t.Errorf("partial frontier missing from output:\n%s", out)
+	}
+	if !strings.Contains(errOut, "corrupt") {
+		t.Errorf("stderr does not name the corruption: %s", errOut)
+	}
+}
+
+func TestStdinTrace(t *testing.T) {
+	data, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-trace", "-", "-hot", "3000"}, bytes.NewReader(data), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("stdin trace: exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "recommended:") {
+		t.Errorf("no recommendation from stdin trace:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,117 @@
+package hybridmem_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	hybridmem "repro"
+)
+
+// Recording a run's placement trace costs nothing but the bytes: the
+// Result is bit-identical to an untraced run, and the trace replays
+// offline afterwards.
+func ExampleWithTrace() {
+	var trc bytes.Buffer
+	p := hybridmem.New(
+		hybridmem.WithScale(hybridmem.Quick),
+		hybridmem.WithSeed(1),
+		hybridmem.WithPolicy(hybridmem.WriteThreshold),
+		hybridmem.WithTrace(&trc),
+	)
+	res, err := p.Run(context.Background(), hybridmem.RunSpec{
+		AppName: "PR", Collector: hybridmem.KGN,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// Replaying the recorded policy over its own trace lands exactly
+	// on the live Result's migration totals — the differential
+	// invariant that makes traces trustworthy ground truth.
+	st, err := hybridmem.ReplayTrace(&trc, hybridmem.WriteThreshold)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(st.PagesMigrated == res.PagesMigrated)
+	// Output: true
+}
+
+// Replaying a trace re-drives a policy against the recorded views
+// without constructing the emulator: policy prototyping in
+// milliseconds instead of minutes.
+func ExampleReplayTrace() {
+	var trc bytes.Buffer
+	p := hybridmem.New(
+		hybridmem.WithScale(hybridmem.Quick),
+		hybridmem.WithSeed(1),
+		hybridmem.WithPolicy(hybridmem.WriteThreshold),
+		hybridmem.WithTrace(&trc),
+	)
+	if _, err := p.Run(context.Background(), hybridmem.RunSpec{
+		AppName: "PR", Collector: hybridmem.KGN,
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	data := trc.Bytes()
+
+	// The recording policy replays bit-identically...
+	same, err := hybridmem.ReplayTrace(bytes.NewReader(data), hybridmem.WriteThreshold)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(same.MatchesRecorded)
+
+	// ...and any other configuration is priced offline from the same
+	// bytes, here the same policy under a tighter promotion threshold.
+	tuned, err := hybridmem.ReplayTraceWith(bytes.NewReader(data),
+		hybridmem.PolicyConfig{Kind: hybridmem.WriteThreshold, HotWriteLines: 3000})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(tuned.Actions < same.Actions)
+	// Output:
+	// true
+	// true
+}
+
+// Autotune prices a whole knob grid from one recorded run: one
+// emulation plus one replay per grid point, instead of one emulation
+// per point.
+func ExampleAutotune() {
+	var trc bytes.Buffer
+	p := hybridmem.New(
+		hybridmem.WithScale(hybridmem.Quick),
+		hybridmem.WithSeed(1),
+		hybridmem.WithPolicy(hybridmem.WriteThreshold),
+		hybridmem.WithTrace(&trc),
+	)
+	if _, err := p.Run(context.Background(), hybridmem.RunSpec{
+		AppName: "PR", Collector: hybridmem.KGN,
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	rep, err := hybridmem.Autotune(context.Background(), &trc, hybridmem.KnobGrid{
+		Policy:          hybridmem.WriteThreshold,
+		HotWriteLines:   []uint64{2100, 3000},
+		DRAMBudgetPages: []uint64{16384, 32768},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(rep.Frontier) > 0)
+	fmt.Println(rep.Recommended.Policy)
+	// Validate the winner live:
+	//   p.With(hybridmem.WithPolicyConfig(rep.Recommended.Config())).Run(ctx, spec)
+	// Output:
+	// true
+	// write-threshold
+}

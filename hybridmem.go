@@ -64,9 +64,11 @@
 package hybridmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/jvm"
 	"repro/internal/lifetime"
@@ -177,6 +179,47 @@ func Policies() []Policy {
 	return []Policy{Static, FirstTouch, WriteThreshold, WearLevel}
 }
 
+// PolicyConfig is a placement policy together with its knob values:
+// WriteThreshold's HotWriteLines / ColdWriteLines / DRAMBudgetPages,
+// WearLevel's WearFactor, and the shared MaxGroupsPerQuantum bound.
+// Zero knobs resolve to the registry defaults (Config.WithDefaults);
+// the zero value is Static with no knobs, today's default platform.
+// Inject a configuration with WithPolicyConfig, sweep configurations
+// live with Sweep.Knobs, and search them offline with Autotune.
+type PolicyConfig = policy.Config
+
+// KnobGrid enumerates a placement-policy knob space: the cartesian
+// product of the listed values per knob, with empty dimensions held at
+// their registry defaults. Autotune replays a recorded trace once per
+// grid point. Grids validate before any work: duplicate values,
+// dimensions the policy never reads, and products past
+// MaxKnobGridPoints are rejected.
+type KnobGrid = autotune.Grid
+
+// MaxKnobGridPoints bounds one Autotune search's cartesian product;
+// KnobGrid.Validate rejects larger grids before any replay runs.
+const MaxKnobGridPoints = autotune.MaxGridPoints
+
+// KnobPoint is one evaluated knob configuration: the knobs, the
+// replay's cost model for them (estimated stalls, pages migrated, PCM
+// write placement and its reduction vs the no-migration baseline), and
+// its Pareto-frontier standing.
+type KnobPoint = autotune.Point
+
+// AutotuneReport is one knob-grid search over one recorded trace:
+// every evaluated point in grid order, the Pareto-optimal frontier
+// (minimize stall cycles, minimize PCM writes; dominated points
+// excluded, exact ties kept, stable order), and the recommended knob
+// set — the frontier point closest to the grid's ideal in normalized
+// objective space.
+type AutotuneReport = autotune.Report
+
+// EstimateTolerance is the relative error the offline cost model is
+// allowed against a live run of the same knob point (see
+// internal/autotune); paperfigs' autotune step and the CI smoke test
+// enforce it.
+const EstimateTolerance = autotune.EstimateTolerance
+
 // ReplayStats is the outcome of re-driving a placement policy over a
 // recorded trace, entirely offline: replayed quanta and actions,
 // migration and stall totals (the recorded executed costs wherever the
@@ -205,6 +248,47 @@ func ReplayTrace(r io.Reader, pol Policy) (ReplayStats, error) {
 		return ReplayStats{}, err
 	}
 	return trace.Replay(r, pl)
+}
+
+// ReplayTraceWith is ReplayTrace with the policy knobs injected per
+// call instead of taken from the trace header: cfg.Kind selects the
+// policy and the remaining knobs parameterize its decisions, so one
+// recorded trace prices arbitrary knob settings offline. Replaying the
+// recorded policy with exactly the recorded knobs still reproduces the
+// recorded action stream and costs bit-identically; any other
+// configuration yields knob-priced estimates.
+func ReplayTraceWith(r io.Reader, cfg PolicyConfig) (ReplayStats, error) {
+	if cfg.Kind < policy.Static || cfg.Kind >= policy.NumKinds {
+		return ReplayStats{}, fmt.Errorf("%w: Kind(%d)", ErrUnknownPolicy, int(cfg.Kind))
+	}
+	pl, err := policy.NewPolicy(cfg.Kind.String())
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	return trace.ReplayWith(r, pl, cfg)
+}
+
+// Autotune searches a placement-policy knob grid against one recorded
+// trace, entirely offline: every grid point replays the trace's view
+// stream with its own knob configuration (ReplayTraceWith), is scored
+// by the replay cost model, and the report carries the Pareto-optimal
+// frontier on (migration stalls, PCM write placement) plus a
+// recommended knob set. One emulator run therefore prices a whole
+// grid — a 3x3x3 sweep costs 27 replays instead of 27 emulations.
+//
+// Validate the winner live by running it with
+// WithPolicyConfig(report.Recommended.Config()), or sweep several
+// tuned points through Sweep.Knobs; where the replayed decisions
+// matched the recorded stream the live Result reproduces the point's
+// PagesMigrated and StallCycles exactly, elsewhere the estimates are
+// bounded by EstimateTolerance.
+//
+// ctx cancels between grid points. On a corrupt trace every point
+// prices the same valid prefix and Autotune returns the prefix report
+// with ErrTraceCorrupt; a version-skewed trace fails up front with
+// ErrTraceVersion.
+func Autotune(ctx context.Context, r io.Reader, grid KnobGrid) (AutotuneReport, error) {
+	return autotune.Run(ctx, r, grid)
 }
 
 // Scale selects experiment input sizes.

@@ -1,0 +1,213 @@
+package autotune
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// pt builds a Point with the two objective values and a knob tuple
+// that keeps points distinct.
+func pt(stall float64, pcm uint64, hot uint64) Point {
+	return Point{Policy: "write-threshold", HotWriteLines: hot,
+		DRAMBudgetPages: policy.DefaultDRAMBudgetPages, WearFactor: policy.DefaultWearFactor,
+		StallCycles: stall, PCMWriteLines: pcm}
+}
+
+func frontierKnobs(front []Point) []uint64 {
+	var hots []uint64
+	for _, p := range front {
+		hots = append(hots, p.HotWriteLines)
+	}
+	return hots
+}
+
+func TestFrontierExcludesDominated(t *testing.T) {
+	points := []Point{
+		pt(100, 900, 1), // frontier: cheapest stalls
+		pt(500, 500, 2), // frontier: the knee
+		pt(900, 100, 3), // frontier: fewest PCM writes
+		pt(600, 600, 4), // dominated by (500,500)
+		pt(500, 501, 5), // dominated by (500,500): tied on stall, worse on writes
+		pt(901, 100, 6), // dominated by (900,100): tied on writes, worse on stall
+	}
+	front := Frontier(points)
+	if got, want := frontierKnobs(front), []uint64{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for _, p := range front {
+		if !p.Pareto {
+			t.Errorf("frontier point %d not flagged Pareto", p.HotWriteLines)
+		}
+	}
+}
+
+func TestFrontierKeepsExactTies(t *testing.T) {
+	points := []Point{
+		pt(500, 500, 2),
+		pt(500, 500, 1), // exact objective tie: both survive
+		pt(700, 700, 3), // dominated by both
+	}
+	front := Frontier(points)
+	// Ties sort by the knob tuple, so the order is total and stable.
+	if got, want := frontierKnobs(front), []uint64{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("tied frontier = %v, want %v", got, want)
+	}
+}
+
+func TestFrontierOrderIndependentOfInput(t *testing.T) {
+	a := []Point{pt(100, 900, 1), pt(900, 100, 3), pt(500, 500, 2)}
+	b := []Point{pt(500, 500, 2), pt(100, 900, 1), pt(900, 100, 3)}
+	fa, fb := Frontier(a), Frontier(b)
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("frontier depends on input order:\n%v\nvs\n%v", fa, fb)
+	}
+	// Stable order: stall ascending.
+	for i := 1; i < len(fa); i++ {
+		if fa[i].StallCycles < fa[i-1].StallCycles {
+			t.Fatalf("frontier not sorted by stall: %v", fa)
+		}
+	}
+}
+
+func TestFrontierSingleAndEmpty(t *testing.T) {
+	if got := Frontier(nil); got != nil {
+		t.Fatalf("empty frontier = %v, want nil", got)
+	}
+	one := []Point{pt(5, 5, 1)}
+	if got := Frontier(one); len(got) != 1 || !got[0].Pareto {
+		t.Fatalf("singleton frontier = %v", got)
+	}
+}
+
+func TestRecommendPicksNormalizedKnee(t *testing.T) {
+	// The knee (500,500) normalizes to (0.5,0.5): distance 0.5 beats
+	// the extremes' 1.0.
+	all := []Point{pt(100, 900, 1), pt(500, 500, 2), pt(900, 100, 3)}
+	front := Frontier(all)
+	rec, ok := recommend(all, front)
+	if !ok || rec.HotWriteLines != 2 {
+		t.Fatalf("recommended = %+v ok=%v, want knob 2", rec, ok)
+	}
+}
+
+func TestRecommendDistanceTieTakesFrontierOrder(t *testing.T) {
+	// Two extremes, no knee: both normalize to distance 1, so the
+	// stable frontier order (stall ascending) decides.
+	all := []Point{pt(900, 100, 3), pt(100, 900, 1)}
+	rec, ok := recommend(all, Frontier(all))
+	if !ok || rec.HotWriteLines != 1 {
+		t.Fatalf("recommended = %+v ok=%v, want the lower-stall point", rec, ok)
+	}
+}
+
+func TestRecommendDegenerateObjective(t *testing.T) {
+	// Every point equal on PCM writes: only stalls discriminate, and
+	// the degenerate dimension must contribute zero, not NaN.
+	all := []Point{pt(100, 500, 1), pt(900, 500, 2)}
+	front := Frontier(all)
+	if len(front) != 1 || front[0].HotWriteLines != 1 {
+		t.Fatalf("frontier = %v, want only the cheaper point", frontierKnobs(front))
+	}
+	rec, ok := recommend(all, front)
+	if !ok || rec.HotWriteLines != 1 {
+		t.Fatalf("recommended = %+v, want knob 1", rec)
+	}
+}
+
+func TestGridPointsOrderAndDefaults(t *testing.T) {
+	g := Grid{Policy: policy.WriteThreshold,
+		HotWriteLines: []uint64{64, 256}, DRAMBudgetPages: []uint64{1024}}
+	pts := g.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if pts[0].HotWriteLines != 64 || pts[1].HotWriteLines != 256 {
+		t.Fatalf("points out of hot-major order: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.DRAMBudgetPages != 1024 {
+			t.Errorf("budget = %d, want 1024", p.DRAMBudgetPages)
+		}
+		// Unlisted knobs resolve to registry defaults.
+		if p.WearFactor != policy.DefaultWearFactor || p.MaxGroupsPerQuantum != policy.DefaultMaxGroupsPerQuantum {
+			t.Errorf("defaults not resolved: %+v", p)
+		}
+	}
+}
+
+func TestGridValidateRejectsDefaultCollisions(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Grid
+		want string
+	}{
+		{"zero hot", Grid{Policy: policy.WriteThreshold, HotWriteLines: []uint64{0}}, "hot"},
+		{"zero budget", Grid{Policy: policy.WriteThreshold, DRAMBudgetPages: []uint64{0}}, "budget"},
+		{"negative wear", Grid{Policy: policy.WearLevel, WearFactors: []float64{-1}}, "wear"},
+		{"unknown policy", Grid{Policy: policy.NumKinds}, "policy"},
+		{"duplicate hot", Grid{Policy: policy.WriteThreshold, HotWriteLines: []uint64{64, 64}}, "duplicate"},
+		{"duplicate wear", Grid{Policy: policy.WearLevel, WearFactors: []float64{2, 2}}, "duplicate"},
+		{"wear dim on write-threshold", Grid{Policy: policy.WriteThreshold, WearFactors: []float64{1.5, 3}}, "ignores the wear factor"},
+		{"hot dim on wear-level", Grid{Policy: policy.WearLevel, HotWriteLines: []uint64{64, 256}}, "ignores the write-threshold knobs"},
+		{"budget dim on static", Grid{Policy: policy.Static, DRAMBudgetPages: []uint64{1, 2}}, "ignores the write-threshold knobs"},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPointConfigRoundTrip(t *testing.T) {
+	cfg := policy.Config{Kind: policy.WriteThreshold, HotWriteLines: 2100,
+		ColdWriteLines: 8, DRAMBudgetPages: 4096, WearFactor: 3}.WithDefaults()
+	p := Point{Policy: cfg.Kind.String(), HotWriteLines: cfg.HotWriteLines,
+		ColdWriteLines: cfg.ColdWriteLines, DRAMBudgetPages: cfg.DRAMBudgetPages,
+		WearFactor: cfg.WearFactor}
+	if got := p.Config(); got != cfg {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	}
+}
+
+func TestRunRejectsInvalidGrid(t *testing.T) {
+	_, err := Run(context.Background(), strings.NewReader(""), Grid{Policy: policy.NumKinds})
+	if err == nil {
+		t.Fatal("Run accepted an invalid grid")
+	}
+}
+
+func TestGridValidateCapsPointCount(t *testing.T) {
+	// 65 x 64 = 4160 > MaxGridPoints (4096); distinct values so only
+	// the cap can reject.
+	g := Grid{Policy: policy.WriteThreshold}
+	for i := 0; i < 65; i++ {
+		g.HotWriteLines = append(g.HotWriteLines, uint64(i+1))
+	}
+	for i := 0; i < 64; i++ {
+		g.DRAMBudgetPages = append(g.DRAMBudgetPages, uint64(i+1))
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "points") {
+		t.Fatalf("Validate() = %v, want point-cap error", err)
+	}
+	// One value fewer fits exactly.
+	g.HotWriteLines = g.HotWriteLines[:64]
+	if err := g.Validate(); err != nil {
+		t.Fatalf("4096-point grid rejected: %v", err)
+	}
+}
+
+func TestGridValidateAllowsPinnedSingleValues(t *testing.T) {
+	// A single value in an ignored dimension pins it without varying
+	// it — legal, unlike a multi-value sweep of an ignored knob.
+	g := Grid{Policy: policy.WearLevel, WearFactors: []float64{1.5, 3},
+		DRAMBudgetPages: []uint64{4096}}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("pinned single value rejected: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+
+	hybridmem "repro"
+	"repro/internal/stats"
+)
+
+// autotuneApp is the workload the autotune step tunes: GraphChi
+// PageRank under KG-N, the configuration whose committed golden trace
+// anchors the offline-replay test suite.
+const (
+	autotuneApp       = "PR"
+	autotuneCollector = hybridmem.KGN
+)
+
+// autotuneGrid is the canonical demonstration grid: hot thresholds
+// that bind at different depths of the quick-scale PageRank heat
+// distribution (256 reproduces the recorded run, 2100 and 3000 select
+// progressively smaller hot sets below the per-quantum action cap)
+// crossed with a DRAM budget that forces demotions (4096 pages) and
+// one that never binds (32768). Six replays price the grid; the live
+// validation then runs each point through the emulator once.
+func autotuneGrid() hybridmem.KnobGrid {
+	return hybridmem.KnobGrid{
+		Policy:          hybridmem.WriteThreshold,
+		HotWriteLines:   []uint64{256, 2100, 3000},
+		DRAMBudgetPages: []uint64{4096, 32768},
+	}
+}
+
+// AutotuneResult is the trace-driven knob search plus its live
+// validation: the offline report, the live emulator measurements for
+// every grid point (aligned with Report.Points), and the two
+// agreement verdicts the workflow exists to check — whether the
+// replay's stall ranking of the points survives contact with the
+// emulator, and whether the recommended point's stall estimate lands
+// within the documented tolerance of its live run.
+type AutotuneResult struct {
+	App       string
+	Collector hybridmem.Collector
+	Report    hybridmem.AutotuneReport
+	// LiveMigrated and LiveStalls are the live Result fields per grid
+	// point, aligned with Report.Points.
+	LiveMigrated []uint64
+	LiveStalls   []uint64
+	// RankingAgrees reports that no pair of points strictly inverts
+	// between the predicted and live stall orderings.
+	RankingAgrees bool
+	// RecommendedRelErr is |predicted - live| / max(live, 1) for the
+	// recommended point's stall cycles; WithinTolerance compares it to
+	// hybridmem.EstimateTolerance.
+	RecommendedRelErr float64
+	WithinTolerance   bool
+}
+
+// Autotune runs the trace-driven autotuning workflow end to end: one
+// traced emulator run records the decision stream, the knob grid is
+// priced offline against the recording (one replay per point instead
+// of one emulation per point — the whole reason the trace format
+// exists), and every point is then validated with a live run through
+// Sweep.Knobs so the replay's predictions are checked, not trusted.
+func (r *Runner) Autotune(ctx context.Context) (AutotuneResult, error) {
+	res := AutotuneResult{App: autotuneApp, Collector: autotuneCollector}
+	spec := hybridmem.RunSpec{AppName: autotuneApp, Collector: autotuneCollector}
+
+	// Record. The traced run bypasses both cache tiers by contract, so
+	// the recording is always a genuine emulation.
+	var trc bytes.Buffer
+	rp := r.p.With(hybridmem.WithPolicy(hybridmem.WriteThreshold), hybridmem.WithTrace(&trc))
+	if _, err := rp.Run(ctx, spec); err != nil {
+		return res, err
+	}
+
+	// Search offline: one replay per grid point.
+	rep, err := hybridmem.Autotune(ctx, &trc, autotuneGrid())
+	if err != nil {
+		return res, err
+	}
+	res.Report = rep
+
+	// Validate live: the same spec under every grid point's knobs, one
+	// emulator run each, batched through the sweep's knob dimension.
+	cfgs := make([]hybridmem.PolicyConfig, len(rep.Points))
+	for i, pt := range rep.Points {
+		cfgs[i] = pt.Config()
+	}
+	sweep := hybridmem.NewSweep(autotuneApp).Collectors(autotuneCollector).Knobs(cfgs...)
+	live, err := r.p.RunSweep(ctx, sweep)
+	if err != nil {
+		return res, err
+	}
+	// One spec per pass: live[c] is Report.Points[c] under Configs()[c].
+	for i, pt := range rep.Points {
+		res.LiveMigrated = append(res.LiveMigrated, live[i].PagesMigrated)
+		res.LiveStalls = append(res.LiveStalls, live[i].MigrationStallCycles)
+		if pt.Recommended {
+			liveStall := float64(live[i].MigrationStallCycles)
+			res.RecommendedRelErr = math.Abs(pt.StallCycles-liveStall) / math.Max(liveStall, 1)
+		}
+	}
+	res.WithinTolerance = res.RecommendedRelErr <= hybridmem.EstimateTolerance
+	res.RankingAgrees = rankingConsistent(rep.Points, res.LiveStalls)
+	return res, nil
+}
+
+// rankingConsistent reports whether the predicted stall ordering of
+// the grid points survives live measurement: a pair is an inversion
+// only when both orders are strict and opposite, so predicted ties are
+// free to resolve either way live.
+func rankingConsistent(points []hybridmem.KnobPoint, live []uint64) bool {
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			predLess := points[i].StallCycles < points[j].StallCycles
+			predMore := points[i].StallCycles > points[j].StallCycles
+			liveLess := live[i] < live[j]
+			liveMore := live[i] > live[j]
+			if (predLess && liveMore) || (predMore && liveLess) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Render renders the autotune validation table.
+func (a AutotuneResult) Render() string {
+	tb := stats.NewTable(
+		fmt.Sprintf("Autotune: trace-driven knob search (%s, %s, write-threshold)", a.App, a.Collector),
+		"hot", "budget", "pred migrated", "live migrated", "pred stall", "live stall", "pcm-writes vs base", "frontier")
+	for i, pt := range a.Report.Points {
+		mark := "-"
+		if pt.Pareto {
+			mark = "pareto"
+		}
+		if pt.Recommended {
+			mark = "pareto*"
+		}
+		tb.AddRow(
+			fmt.Sprint(pt.HotWriteLines),
+			fmt.Sprint(pt.DRAMBudgetPages),
+			fmt.Sprint(pt.PagesMigrated),
+			fmt.Sprint(a.LiveMigrated[i]),
+			fmt.Sprintf("%.0f", pt.StallCycles),
+			fmt.Sprint(a.LiveStalls[i]),
+			fmt.Sprintf("%.1f%%", 100*pt.PCMWriteReduction),
+			mark)
+	}
+	rec := a.Report.Recommended
+	return tb.String() + fmt.Sprintf(
+		"recommended: hot=%d cold=%d budget=%d (one emulation + %d replays instead of %d emulations)\n"+
+			"stall ranking predicted==live: %v; recommended stall rel. err %.3f within tolerance %.2f: %v\n",
+		rec.HotWriteLines, rec.ColdWriteLines, rec.DRAMBudgetPages,
+		len(a.Report.Points), len(a.Report.Points),
+		a.RankingAgrees, a.RecommendedRelErr, hybridmem.EstimateTolerance, a.WithinTolerance)
+}

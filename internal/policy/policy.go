@@ -16,6 +16,17 @@
 // work, and a TLB shootdown, all charged to the process at the
 // safepoint.
 //
+// Every decision is parameterized by a Config — the policy kind plus
+// its knobs (HotWriteLines, ColdWriteLines, DRAMBudgetPages,
+// WearFactor, MaxGroupsPerQuantum) — injected per engine instance, not
+// read from globals: NewEngine/NewEngineWith take the Config, Decide
+// receives it per quantum, and trace.ReplayWith re-drives recorded
+// views under any Config. That per-instance injection is what lets
+// internal/autotune price a whole knob grid against one recorded
+// trace and the facade run tuned knob points live
+// (hybridmem.WithPolicyConfig) without cross-talk between concurrent
+// platforms.
+//
 // Policies are pluggable at the library level: Register adds a named
 // policy to the registry and NewEngineWith wraps any Policy value in
 // an engine an embedder can hook onto jvm.Runtime.Safepoint directly.

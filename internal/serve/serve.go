@@ -9,6 +9,7 @@
 //
 //	POST /v1/run      one experiment; responds with a store.Record
 //	POST /v1/sweep    a grid; streams one JSON line per completed run
+//	POST /v1/autotune record a trace, search a knob grid over it offline
 //	GET  /v1/results  durable-store listing with spec filters + paging
 //	GET  /v1/policies the placement policies the engine offers
 //	GET  /v1/trace    record a run and stream its placement trace (ndjson)
@@ -17,6 +18,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,6 +65,7 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 	s := &Server{p: p, sem: make(chan struct{}, n), mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/autotune", s.handleAutotune)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
@@ -484,6 +487,113 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		// wire; all that is left is to stop extending the stream.
 		fmt.Fprintf(os.Stderr, "hybridserved: trace %s: %v\n", spec.AppName, err)
 	}
+}
+
+// AutotuneGrid is the wire form of a knob grid: the cartesian product
+// of the listed values per knob, empty dimensions held at their
+// registry defaults, capped at hybridmem.MaxKnobGridPoints. When
+// policy is omitted it is inferred from the dimensions: wear-level if
+// only wearFactors is listed, write-threshold otherwise; grids that
+// vary a knob their policy never reads are rejected with 400.
+type AutotuneGrid struct {
+	Policy          string    `json:"policy,omitempty"`
+	HotWriteLines   []uint64  `json:"hotWriteLines,omitempty"`
+	ColdWriteLines  []uint64  `json:"coldWriteLines,omitempty"`
+	DRAMBudgetPages []uint64  `json:"dramBudgetPages,omitempty"`
+	WearFactors     []float64 `json:"wearFactors,omitempty"`
+}
+
+// AutotuneRequest selects the run to record (the RunRequest fields;
+// Run.Policy is the policy the trace is recorded under, defaulting to
+// the grid's policy) and the knob grid to search over the recording.
+type AutotuneRequest struct {
+	Run  RunRequest   `json:"run"`
+	Grid AutotuneGrid `json:"grid"`
+}
+
+// handleAutotune serves POST /v1/autotune: one live traced run of the
+// requested spec (recorded in memory), then an offline knob-grid
+// search over the recording — the response is the hybridmem.Autotune
+// report: every evaluated point, the Pareto frontier on (stall cycles,
+// PCM writes), and the recommended knob set. The endpoint costs
+// exactly one platform run regardless of grid size; the grid itself is
+// priced by replay.
+func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	var req AutotuneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	grid := hybridmem.KnobGrid{
+		HotWriteLines:   req.Grid.HotWriteLines,
+		ColdWriteLines:  req.Grid.ColdWriteLines,
+		DRAMBudgetPages: req.Grid.DRAMBudgetPages,
+		WearFactors:     req.Grid.WearFactors,
+	}
+	switch {
+	case req.Grid.Policy != "":
+		pol, err := hybridmem.ParsePolicy(req.Grid.Policy)
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		grid.Policy = pol
+	case len(grid.WearFactors) > 0 && len(grid.HotWriteLines) == 0 &&
+		len(grid.ColdWriteLines) == 0 && len(grid.DRAMBudgetPages) == 0:
+		// Only the wear knob varies: the client means wear-level —
+		// write-threshold would price every point identically.
+		grid.Policy = hybridmem.WearLevel
+	default:
+		grid.Policy = hybridmem.WriteThreshold
+	}
+	if err := grid.Validate(); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("%w: %v", errBadRequest, err))
+		return
+	}
+	if req.Run.Policy == "" {
+		// Record under the grid's policy by default, so the recorded
+		// views carry the decision history the grid is tuning.
+		req.Run.Policy = grid.Policy.String()
+	}
+	spec, p, err := s.resolve(req.Run)
+	if err != nil {
+		fail(w, httpStatus(err), err)
+		return
+	}
+	if spec.Native {
+		// Native runs take no GC safepoints: the trace would hold zero
+		// quanta and every grid point would price to nothing.
+		fail(w, http.StatusBadRequest,
+			fmt.Errorf("%w: native runs have no policy quanta to autotune", errBadRequest))
+		return
+	}
+	// The traced recording always computes, so it always takes a slot.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		fail(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	var trc bytes.Buffer
+	if _, err := p.With(hybridmem.WithTrace(&trc)).Run(r.Context(), spec); err != nil {
+		fail(w, httpStatus(err), err)
+		return
+	}
+	rep, err := hybridmem.Autotune(r.Context(), &trc, grid)
+	if err != nil {
+		// The recording is in memory and freshly written; corruption
+		// here is a server bug, not client input.
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
 }
 
 // handlePolicies serves GET /v1/policies: the placement policies the

@@ -624,3 +624,100 @@ func TestTraceEndpointRejectsBadQuery(t *testing.T) {
 		}
 	}
 }
+
+// TestAutotuneEndpoint drives POST /v1/autotune end to end: one traced
+// run recorded server-side, the grid priced offline, and the report
+// returned with a non-empty Pareto frontier and a flagged
+// recommendation.
+func TestAutotuneEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/autotune", AutotuneRequest{
+		Run: RunRequest{App: "PR", Collector: "KG-N"},
+		Grid: AutotuneGrid{
+			Policy:          "write-threshold",
+			HotWriteLines:   []uint64{2100, 3000},
+			DRAMBudgetPages: []uint64{16384, 32768},
+		},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("autotune = %d: %s", resp.StatusCode, body)
+	}
+	var rep hybridmem.AutotuneReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Header.App != "PR" || rep.Header.Policy != "write-threshold" {
+		t.Errorf("report header = %+v", rep.Header)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(rep.Points))
+	}
+	if len(rep.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if !rep.Recommended.Recommended || !rep.Recommended.Pareto {
+		t.Errorf("recommendation not flagged: %+v", rep.Recommended)
+	}
+	for _, pt := range rep.Points {
+		if pt.Quanta == 0 {
+			t.Errorf("point %+v priced zero quanta", pt)
+		}
+	}
+}
+
+// TestAutotuneEndpointRejectsBadRequests pins the endpoint's 400s:
+// unknown names, invalid grids, and native runs (no policy quanta).
+func TestAutotuneEndpointRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		req  AutotuneRequest
+	}{
+		{"unknown app", AutotuneRequest{Run: RunRequest{App: "nope"}}},
+		{"unknown grid policy", AutotuneRequest{
+			Run:  RunRequest{App: "PR", Collector: "KG-N"},
+			Grid: AutotuneGrid{Policy: "no-such-policy"}}},
+		{"invalid grid value", AutotuneRequest{
+			Run:  RunRequest{App: "PR", Collector: "KG-N"},
+			Grid: AutotuneGrid{HotWriteLines: []uint64{0}}}},
+		{"native run", AutotuneRequest{
+			Run: RunRequest{App: "PR", Native: true}}},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/autotune", tc.req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestAutotuneEndpointInfersWearLevel: a grid listing only wearFactors
+// means wear-level — defaulting it to write-threshold would price
+// every point identically and recommend noise.
+func TestAutotuneEndpointInfersWearLevel(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/autotune", AutotuneRequest{
+		Run:  RunRequest{App: "PR", Collector: "KG-N"},
+		Grid: AutotuneGrid{WearFactors: []float64{1.5, 3}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("autotune = %d: %s", resp.StatusCode, body)
+	}
+	var rep hybridmem.AutotuneReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Header.Policy != "wear-level" {
+		t.Errorf("recorded policy = %q, want wear-level (inferred from the grid)", rep.Header.Policy)
+	}
+	for _, pt := range rep.Points {
+		if pt.Policy != "wear-level" {
+			t.Errorf("point policy = %q, want wear-level", pt.Policy)
+		}
+	}
+}

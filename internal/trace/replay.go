@@ -62,7 +62,8 @@ func (s ReplayStats) PCMWriteReduction() float64 {
 	return 1 - float64(s.PCMWriteLines)/float64(s.BaselinePCMWriteLines)
 }
 
-// Replay re-drives pol over the trace in src. It returns the stats for
+// Replay re-drives pol over the trace in src with the knob
+// configuration the trace header recorded. It returns the stats for
 // every record consumed; on a corrupt trace the stats cover the valid
 // prefix and the error (ErrCorrupt with the offending line, or
 // ErrVersion from the header) reports why the replay stopped.
@@ -70,20 +71,106 @@ func Replay(src io.Reader, pol policy.Policy) (ReplayStats, error) {
 	return ReplayReader(NewReader(src), pol)
 }
 
+// ReplayWith is Replay with the policy knobs injected per call instead
+// of taken from the trace header: pol's Decide runs (and its action
+// list truncates) under cfg, not under the recorded configuration.
+// This is what turns one recorded trace into a whole knob-grid sweep —
+// internal/autotune prices every grid point through here — and it
+// preserves the differential invariant as a special case: replaying
+// the recorded policy with exactly the recorded knobs reproduces the
+// recorded action stream and costs bit-identically.
+//
+// Only the decision knobs come from cfg; the migration cost constants
+// still come from the header, because they describe the recorded
+// kernel, not the policy. A zero cfg.Kind with non-zero knobs is
+// respected as given (after WithDefaults), so a caller can sweep one
+// knob while holding the rest at their registry defaults.
+func ReplayWith(src io.Reader, pol policy.Policy, cfg policy.Config) (ReplayStats, error) {
+	return replayReader(NewReader(src), pol, &cfg)
+}
+
 // ReplayReader is Replay over an existing Reader (e.g. one whose
 // Header the caller already inspected).
 func ReplayReader(r *Reader, pol policy.Policy) (ReplayStats, error) {
+	return replayReader(r, pol, nil)
+}
+
+// ReplayReaderWith is ReplayWith over an existing Reader.
+func ReplayReaderWith(r *Reader, pol policy.Policy, cfg policy.Config) (ReplayStats, error) {
+	return replayReader(r, pol, &cfg)
+}
+
+// DecodeAll reads a whole trace into memory: the header and every
+// quantum record. On corruption the decoded prefix is returned
+// together with the ErrCorrupt (ErrVersion for a skewed header), so
+// callers that replay the same trace many times — the autotuner
+// replays it once per knob-grid point — decode the bytes once and
+// replay the in-memory records via ReplayDecoded instead of re-parsing
+// JSON per replay.
+func DecodeAll(src io.Reader) (Header, []Quantum, error) {
+	r := NewReader(src)
+	h, err := r.Header()
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var quanta []Quantum
+	for {
+		q, err := r.Next()
+		if err == io.EOF {
+			return h, quanta, nil
+		}
+		if err != nil {
+			return h, quanta, err
+		}
+		quanta = append(quanta, q)
+	}
+}
+
+// ReplayDecoded is ReplayWith over an already-decoded trace: pol is
+// re-driven across the quanta under cfg, priced with the header's
+// recorded cost constants. The records are only read, never mutated,
+// so one decoded trace serves any number of concurrent replays.
+func ReplayDecoded(h Header, quanta []Quantum, pol policy.Policy, cfg policy.Config) (ReplayStats, error) {
+	i := 0
+	next := func() (Quantum, error) {
+		if i == len(quanta) {
+			return Quantum{}, io.EOF
+		}
+		q := quanta[i]
+		i++
+		return q, nil
+	}
+	override := cfg
+	return replayLoop(h, next, pol, &override)
+}
+
+// replayReader drives the streaming replay. override, when non-nil, is
+// the injected knob configuration; nil means the header's recorded
+// knobs.
+func replayReader(r *Reader, pol policy.Policy, override *policy.Config) (ReplayStats, error) {
+	if pol == nil {
+		return ReplayStats{MatchesRecorded: true}, fmt.Errorf("trace: replay needs a policy")
+	}
+	h, err := r.Header()
+	if err != nil {
+		return ReplayStats{MatchesRecorded: true, Policy: pol.Name()}, err
+	}
+	return replayLoop(h, r.Next, pol, override)
+}
+
+// replayLoop is the replay engine: quanta arrive from next (io.EOF
+// ends the trace; any other error is surfaced with the prefix stats).
+func replayLoop(h Header, next func() (Quantum, error), pol policy.Policy, override *policy.Config) (ReplayStats, error) {
 	st := ReplayStats{MatchesRecorded: true}
 	if pol == nil {
 		return st, fmt.Errorf("trace: replay needs a policy")
 	}
 	st.Policy = pol.Name()
-	h, err := r.Header()
-	if err != nil {
-		return st, err
-	}
 	st.RecordedPolicy = h.Policy
 	cfg := h.PolicyConfig()
+	if override != nil {
+		cfg = override.WithDefaults()
+	}
 
 	// tiers tracks each group's tier under three decision histories:
 	// none (baseline), the recorded run's, and the replayed policy's.
@@ -102,7 +189,7 @@ func ReplayReader(r *Reader, pol policy.Policy) (ReplayStats, error) {
 	tiers := map[groupKey]*groupTier{}
 
 	for {
-		q, err := r.Next()
+		q, err := next()
 		if err == io.EOF {
 			return st, nil
 		}

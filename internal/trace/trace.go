@@ -14,7 +14,10 @@
 // (the cost-avoidance move METICULOUS-style emulators exist for) and
 // the live engine is validated differentially: replaying a trace with
 // the policy that recorded it must reproduce the recorded Action
-// stream bit-identically.
+// stream bit-identically. Replay uses the header's recorded knobs;
+// ReplayWith injects a policy.Config per call, which is the primitive
+// internal/autotune builds its knob-grid search on — one recorded
+// trace prices every point of a grid.
 //
 // The format is append-crash-tolerant in the same way internal/store's
 // segments are: every record is one Write of one line, so a torn tail

@@ -304,3 +304,53 @@ func TestReplayNilPolicy(t *testing.T) {
 		t.Error("nil policy must fail")
 	}
 }
+
+// TestReplayWithOverridesKnobs pins the knob-injection contract at the
+// trace layer: the recorded knobs promote the synthetic hot group
+// (writes 500 >= hot 100), an injected hot threshold above the heat
+// suppresses the promotion entirely, and injecting exactly the
+// recorded knobs is indistinguishable from the header-knob replay.
+func TestReplayWithOverridesKnobs(t *testing.T) {
+	data := record(t, 3)
+	pol, err := policy.NewPolicy(policy.WriteThreshold.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recorded, err := Replay(bytes.NewReader(data), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := ReplayWith(bytes.NewReader(data), pol, testHeader().PolicyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(same, recorded) {
+		t.Errorf("recorded-knob injection diverged:\n%+v\nvs\n%+v", same, recorded)
+	}
+	if !same.MatchesRecorded || same.Actions == 0 {
+		t.Errorf("recorded-knob injection lost the differential invariant: %+v", same)
+	}
+
+	cold, err := ReplayWith(bytes.NewReader(data), pol,
+		policy.Config{Kind: policy.WriteThreshold, HotWriteLines: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Actions != 0 || cold.PagesMigrated != 0 {
+		t.Errorf("hot=1000 should suppress every promotion, got %+v", cold)
+	}
+	if cold.MatchesRecorded {
+		t.Error("divergent knobs still reported MatchesRecorded")
+	}
+	// With no promotions, the hot group's writes stay on PCM: the
+	// replayed placement equals the no-migration baseline.
+	if cold.PCMWriteLines != cold.BaselinePCMWriteLines {
+		t.Errorf("no-promotion replay PCM writes = %d, baseline %d",
+			cold.PCMWriteLines, cold.BaselinePCMWriteLines)
+	}
+	if recorded.PCMWriteLines >= cold.PCMWriteLines {
+		t.Errorf("recorded knobs should beat the no-promotion placement: %d vs %d",
+			recorded.PCMWriteLines, cold.PCMWriteLines)
+	}
+}

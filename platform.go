@@ -270,6 +270,18 @@ func WithPolicy(k Policy) Option {
 	return func(c *config) { c.policy = policy.Config{Kind: k} }
 }
 
+// WithPolicyConfig selects the placement policy together with explicit
+// knob values (HotWriteLines, ColdWriteLines, DRAMBudgetPages,
+// WearFactor, ...), so a tuned knob point — e.g. Autotune's
+// recommendation — runs live exactly as the replay priced it. Unset
+// knobs resolve to their registry defaults, making
+// WithPolicyConfig(PolicyConfig{Kind: k}) equivalent to WithPolicy(k).
+// The resolved knobs are part of the result identity: two platforms
+// differing in any knob never share a cache or store entry.
+func WithPolicyConfig(cfg PolicyConfig) Option {
+	return func(c *config) { c.policy = cfg }
+}
+
 // WithStore attaches a durable result store rooted at dir as a second
 // cache tier: lookups fall through memory → disk → compute, computed
 // Results are written through, and the store survives the process —
@@ -415,6 +427,10 @@ func (p *Platform) coreOptions() core.Options {
 
 // PolicyKind returns the platform's configured placement policy.
 func (p *Platform) PolicyKind() Policy { return p.cfg.policy.Kind }
+
+// PolicyConfig returns the platform's placement-policy configuration
+// with its knobs resolved to their effective values.
+func (p *Platform) PolicyConfig() PolicyConfig { return p.cfg.policy.WithDefaults() }
 
 // normalizeSpec applies RunSpec defaults so equivalent specs share one
 // cache entry.

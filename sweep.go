@@ -14,6 +14,7 @@ type Sweep struct {
 	instances  []int
 	datasets   []Dataset
 	policies   []Policy
+	knobs      []PolicyConfig
 	native     bool
 }
 
@@ -68,6 +69,44 @@ func (s *Sweep) PolicySweep() []Policy {
 	return s.policies
 }
 
+// Knobs adds explicit policy knob configurations to the sweep's
+// platform dimension — typically tuned points from an Autotune report
+// (KnobPoint.Config), validated live against the same spec grid. Like
+// Policies, each configuration runs the whole Specs() grid on a
+// derived platform (WithPolicyConfig) sharing both cache tiers. Knob
+// configurations follow any Policies entries in the combined
+// configuration-major result layout; see Configs for the resolved
+// order.
+func (s *Sweep) Knobs(cfgs ...PolicyConfig) *Sweep {
+	s.knobs = cfgs
+	return s
+}
+
+// KnobSweep returns the sweep's knob-configuration dimension (nil when
+// none was set).
+func (s *Sweep) KnobSweep() []PolicyConfig {
+	return s.knobs
+}
+
+// Configs resolves the sweep's platform dimension into policy
+// configurations, in the order RunSweep executes its passes: the
+// Policies entries (each with default knobs) followed by the Knobs
+// entries, knobs resolved. nil means a single pass under the
+// platform's own configured policy.
+func (s *Sweep) Configs() []PolicyConfig {
+	if len(s.policies) == 0 && len(s.knobs) == 0 {
+		return nil
+	}
+	cfgs := make([]PolicyConfig, 0, len(s.policies)+len(s.knobs))
+	for _, pol := range s.policies {
+		cfgs = append(cfgs, PolicyConfig{Kind: pol}.WithDefaults())
+	}
+	for _, cfg := range s.knobs {
+		cfgs = append(cfgs, cfg.WithDefaults())
+	}
+	return cfgs
+}
+
 // Specs expands the grid into RunSpecs, ordered app-major then
 // collector, instances, dataset — a fixed order, so Specs()[i] lines
 // up with the i-th Result of RunBatch (and of RunSweep without a
@@ -117,18 +156,19 @@ func (s *Sweep) Specs() []RunSpec {
 }
 
 // RunSweep executes the sweep through the platform's worker pool and
-// returns Results aligned with sweep.Specs(). With a Policies
-// dimension the grid runs once per policy on a derived platform and
-// the results concatenate policy-major: Results[p*len(Specs())+i] is
-// Specs()[i] under PolicySweep()[p].
+// returns Results aligned with sweep.Specs(). With a Policies or Knobs
+// dimension the grid runs once per policy configuration on a derived
+// platform and the results concatenate configuration-major:
+// Results[c*len(Specs())+i] is Specs()[i] under Configs()[c].
 func (p *Platform) RunSweep(ctx context.Context, sweep *Sweep) ([]Result, error) {
 	specs := sweep.Specs()
-	if len(sweep.policies) == 0 {
+	cfgs := sweep.Configs()
+	if len(cfgs) == 0 {
 		return p.RunBatch(ctx, specs...)
 	}
-	results := make([]Result, 0, len(sweep.policies)*len(specs))
-	for _, pol := range sweep.policies {
-		batch, err := p.With(WithPolicy(pol)).RunBatch(ctx, specs...)
+	results := make([]Result, 0, len(cfgs)*len(specs))
+	for _, cfg := range cfgs {
+		batch, err := p.With(WithPolicyConfig(cfg)).RunBatch(ctx, specs...)
 		if err != nil {
 			return results, err
 		}

@@ -83,3 +83,65 @@ func TestSweepNativeAlignment(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepConfigsResolution pins the platform-dimension order: the
+// Policies entries (default knobs) precede the Knobs entries, knobs
+// resolved, and an empty dimension pair resolves to nil (one pass
+// under the platform's own policy).
+func TestSweepConfigsResolution(t *testing.T) {
+	if got := NewSweep("PR").Configs(); got != nil {
+		t.Fatalf("Configs() = %v, want nil without a dimension", got)
+	}
+	tuned := PolicyConfig{Kind: WriteThreshold, HotWriteLines: 2100}
+	s := NewSweep("PR").Policies(Static, WearLevel).Knobs(tuned)
+	got := s.Configs()
+	if len(got) != 3 {
+		t.Fatalf("Configs() = %d entries, want 3", len(got))
+	}
+	if got[0].Kind != Static || got[1].Kind != WearLevel {
+		t.Errorf("policy entries out of order: %+v", got[:2])
+	}
+	if got[2].Kind != WriteThreshold || got[2].HotWriteLines != 2100 {
+		t.Errorf("knob entry = %+v", got[2])
+	}
+	// Every entry is resolved: unset knobs at their defaults.
+	for i, cfg := range got {
+		if cfg.DRAMBudgetPages == 0 || cfg.MaxGroupsPerQuantum == 0 {
+			t.Errorf("Configs()[%d] unresolved: %+v", i, cfg)
+		}
+	}
+}
+
+// TestSweepKnobsAlignment checks the configuration-major result
+// layout for a Knobs dimension: Results[c*len(Specs())+i] must equal a
+// direct WithPolicyConfig run of Specs()[i] under Configs()[c].
+func TestSweepKnobsAlignment(t *testing.T) {
+	p := New(WithScale(Quick))
+	ctx := context.Background()
+	loose := PolicyConfig{Kind: WriteThreshold, HotWriteLines: 2100}
+	tight := PolicyConfig{Kind: WriteThreshold, HotWriteLines: 3000}
+	sweep := NewSweep("PR").Collectors(KGN).Knobs(loose, tight)
+	results, err := p.RunSweep(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := sweep.Specs()
+	if len(results) != 2*len(specs) {
+		t.Fatalf("RunSweep returned %d results for %d specs x 2 knob configs", len(results), len(specs))
+	}
+	for c, cfg := range sweep.Configs() {
+		direct, err := p.With(WithPolicyConfig(cfg)).Run(ctx, specs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := results[c*len(specs)]; got.MigrationStallCycles != direct.MigrationStallCycles ||
+			got.PagesMigrated != direct.PagesMigrated {
+			t.Errorf("config %d (%+v): sweep result diverges from direct run", c, cfg)
+		}
+	}
+	// The two knob points must actually differ, or the dimension is
+	// not reaching the engine.
+	if results[0].PagesMigrated == results[len(specs)].PagesMigrated {
+		t.Errorf("both knob configs migrated %d pages; knobs not injected", results[0].PagesMigrated)
+	}
+}
