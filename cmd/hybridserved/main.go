@@ -7,13 +7,23 @@
 // Usage:
 //
 //	hybridserved [-addr :8080] [-store DIR] [-scale quick|std|full]
-//	             [-seed N] [-policy NAME] [-max-inflight N] [-drain 30s]
+//	             [-seed N] [-policy NAME] [-max-inflight N]
+//	             [-max-queued N] [-drain 30s]
+//	             [-node URL -peers URL,URL,...]
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (streams ndjson),
-// GET /v1/results, GET /v1/policies, GET /healthz, GET /metrics.
-// SIGTERM (or Ctrl-C) drains in-flight requests before exiting.
-// -policy sets the default placement policy; requests override it
-// per run or sweep.
+// GET /v1/results, GET /v1/policies, GET /healthz, GET /v1/healthz,
+// GET /metrics. SIGTERM (or Ctrl-C) drains in-flight requests before
+// exiting. -policy sets the default placement policy; requests
+// override it per run or sweep.
+//
+// With -node and -peers the server joins a sharded fabric: -node is
+// this node's own base URL (its identity on the consistent-hash ring)
+// and -peers is the full fleet membership, identical on every node.
+// Runs whose canonical key hashes to a peer are forwarded there; an
+// unreachable peer degrades to local execution. Every node must run
+// the same -scale, -seed, and -policy, or the fleet's canonical keys
+// disagree and nothing is shared.
 package main
 
 import (
@@ -23,10 +33,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	hybridmem "repro"
+	"repro/internal/fabric"
 	"repro/internal/serve"
 )
 
@@ -37,6 +49,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	policyName := flag.String("policy", "static", "default placement policy (requests may override)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent platform runs (0 = one per core)")
+	maxQueued := flag.Int("max-queued", 0, "max requests waiting for a run slot before 429s (0 = 8x max-inflight)")
+	node := flag.String("node", "", "this node's base URL on the fabric ring (e.g. http://10.0.0.1:8080)")
+	peers := flag.String("peers", "", "comma-separated base URLs of the full fleet, identical on every node")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	flag.Parse()
 
@@ -59,7 +74,26 @@ func main() {
 	}
 	p := hybridmem.New(opts...)
 
-	srv, err := serve.New(p, serve.Config{MaxInFlight: *maxInflight})
+	var fab *fabric.Fabric
+	if *peers != "" {
+		if *node == "" {
+			fail(fmt.Errorf("-peers requires -node (this node's own URL in the peer list)"))
+		}
+		var list []string
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(u), "/")); u != "" {
+				list = append(list, u)
+			}
+		}
+		fab, err = fabric.New(fabric.Config{Self: strings.TrimSuffix(*node, "/"), Peers: list})
+		if err != nil {
+			fail(err)
+		}
+	} else if *node != "" {
+		fail(fmt.Errorf("-node requires -peers (the full fleet membership)"))
+	}
+
+	srv, err := serve.New(p, serve.Config{MaxInFlight: *maxInflight, MaxQueued: *maxQueued, Fabric: fab})
 	if err != nil {
 		fail(err)
 	}
@@ -67,8 +101,13 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("hybridserved: listening on %s (scale=%s, seed=%d, store=%q)\n",
-			*addr, sc, *seed, *storeDir)
+		if fab != nil {
+			fmt.Printf("hybridserved: listening on %s as %s (scale=%s, seed=%d, store=%q, ring=%v)\n",
+				*addr, fab.Self(), sc, *seed, *storeDir, fab.Members())
+		} else {
+			fmt.Printf("hybridserved: listening on %s (scale=%s, seed=%d, store=%q)\n",
+				*addr, sc, *seed, *storeDir)
+		}
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

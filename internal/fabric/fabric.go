@@ -1,0 +1,230 @@
+// Package fabric is hybridserved's clustered tier: consistent-hash
+// sharding of canonical spec keys across a static fleet of nodes, with
+// request forwarding so any node can serve any key.
+//
+// Topology is deliberately simple — a static peer list every node is
+// configured with at startup — because placement needs no coordination:
+// the Ring is a pure function of (membership, key), so every node
+// independently agrees on each key's owner. Any node accepts any
+// request; non-owners forward to the owner over a Transport, and the
+// owner's single-flight job layer (internal/fabric/jobs) coalesces
+// identical work arriving from the whole fleet into one execution —
+// the claim-then-stream protocol: the first request anywhere claims
+// the key at its owner, and every later request for it, from any node,
+// streams that one execution's result.
+//
+// Failure semantics are degrade-never-fail: a forward that cannot
+// reach its peer is retried with exponential backoff and jitter, and
+// when the peer stays unreachable the origin node executes the run
+// locally. The fleet loses sharding efficiency for those keys, not
+// correctness — results are deterministic in (configuration, spec,
+// seed), so any node computes bit-identical bytes.
+//
+// The fabric assumes a homogeneous fleet: every node runs with the
+// same platform configuration (scale, seed, policy defaults), so
+// canonical keys — and therefore owners — agree everywhere. A
+// heterogeneous fleet is safe but useless: keys disagree, every node
+// owns its own traffic, and nothing is shared.
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// ForwardHeader marks a forwarded request with the origin node's name.
+// A node receiving a marked request always executes locally — it never
+// re-forwards — so a stale or disagreeing ring cannot loop a request
+// around the fleet.
+const ForwardHeader = "X-Hybridfabric-Forwarded"
+
+// Response is a peer's answer to a forwarded request: the peer was
+// reachable and spoke HTTP, whatever the status. Transport failures
+// (connection refused, timeouts, torn connections) are returned as
+// errors instead and are the retryable case.
+type Response struct {
+	Status     int
+	RetryAfter string // peer's Retry-After header, if any
+	Body       []byte
+}
+
+// Transport carries forwarded requests to peers. Implementations must
+// be safe for concurrent use.
+type Transport interface {
+	// ForwardRun posts one /v1/run request body to a peer and returns
+	// its response. An error means the peer was unreachable (the
+	// retryable case); any HTTP response, success or failure, returns
+	// a Response.
+	ForwardRun(ctx context.Context, node string, body []byte) (*Response, error)
+}
+
+// HTTPTransport forwards requests over real HTTP: node names are base
+// URLs (http://host:port).
+type HTTPTransport struct {
+	// Origin is the forwarding node's own name, stamped into
+	// ForwardHeader so the peer executes locally.
+	Origin string
+	// Client is the HTTP client to use (nil = a client with a 10-minute
+	// timeout — a cold full-scale emulation is minutes of compute, and
+	// a forwarded request must outlive it).
+	Client *http.Client
+}
+
+// defaultClient bounds a forwarded request's total lifetime without
+// cutting off long computes.
+var defaultClient = &http.Client{Timeout: 10 * time.Minute}
+
+// ForwardRun implements Transport.
+func (t *HTTPTransport) ForwardRun(ctx context.Context, node string, body []byte) (*Response, error) {
+	c := t.Client
+	if c == nil {
+		c = defaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fabric: forward to %s: %w", node, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, t.Origin)
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: forward to %s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// The peer died mid-response; the body is torn, so treat it
+		// like an unreachable peer rather than trusting a prefix.
+		return nil, fmt.Errorf("fabric: forward to %s: reading response: %w", node, err)
+	}
+	return &Response{Status: resp.StatusCode, RetryAfter: resp.Header.Get("Retry-After"), Body: data}, nil
+}
+
+// RetryConfig bounds the forwarding path's persistence against an
+// unreachable peer.
+type RetryConfig struct {
+	// Attempts is the total number of tries per forward (min 1).
+	Attempts int
+	// BaseDelay seeds the exponential backoff between attempts; the
+	// k-th retry waits BaseDelay * 2^k, jittered uniformly in
+	// [0.5, 1.5) of that, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the forwarding retry policy: three tries over
+// roughly a third of a second. A peer that stays down past that is
+// handled by local fallback, not by waiting.
+var DefaultRetry = RetryConfig{Attempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
+
+// withDefaults fills unset retry knobs.
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.Attempts < 1 {
+		rc.Attempts = DefaultRetry.Attempts
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = DefaultRetry.MaxDelay
+	}
+	return rc
+}
+
+// backoff returns the jittered sleep before retry attempt k (0-based).
+func (rc RetryConfig) backoff(k int) time.Duration {
+	d := rc.BaseDelay << uint(k)
+	if d > rc.MaxDelay || d <= 0 {
+		d = rc.MaxDelay
+	}
+	// Uniform jitter in [0.5, 1.5): desynchronizes a fleet that lost
+	// the same peer at the same moment, so retries do not arrive as a
+	// thundering herd when it returns.
+	return time.Duration((0.5 + rand.Float64()) * float64(d))
+}
+
+// Config parameterizes a Fabric.
+type Config struct {
+	// Self is this node's own name; it is always a ring member.
+	Self string
+	// Peers is the full fleet membership (Self included or not; it is
+	// added if absent). Every node must be configured with the same
+	// list for placement to agree.
+	Peers []string
+	// Replicas is the ring's virtual-point count per node (0 =
+	// DefaultReplicas).
+	Replicas int
+	// Transport carries forwarded requests (nil = HTTPTransport with
+	// Self as origin).
+	Transport Transport
+	// Retry bounds forwarding persistence (zero fields take
+	// DefaultRetry).
+	Retry RetryConfig
+}
+
+// Fabric is one node's view of the cluster: the shared ring, its own
+// identity, and the forwarding transport.
+type Fabric struct {
+	self  string
+	ring  *Ring
+	tr    Transport
+	retry RetryConfig
+}
+
+// New builds a node's Fabric from its static configuration.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("fabric: Self must be set")
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	ring := NewRing(members, cfg.Replicas)
+	tr := cfg.Transport
+	if tr == nil {
+		tr = &HTTPTransport{Origin: cfg.Self}
+	}
+	return &Fabric{self: cfg.Self, ring: ring, tr: tr, retry: cfg.Retry.withDefaults()}, nil
+}
+
+// Self returns this node's name.
+func (f *Fabric) Self() string { return f.self }
+
+// Members returns the full ring membership, sorted.
+func (f *Fabric) Members() []string { return f.ring.Nodes() }
+
+// Owner returns the node owning a canonical spec key.
+func (f *Fabric) Owner(key string) string { return f.ring.Owner(key) }
+
+// Forward sends a /v1/run request body to a peer, retrying transport
+// failures with exponential backoff and jitter up to the configured
+// attempt budget. It returns the peer's Response (any status) on
+// success, or the last transport error once the budget is exhausted —
+// the caller's cue to degrade to local execution.
+func (f *Fabric) Forward(ctx context.Context, node string, body []byte) (*Response, error) {
+	rc := f.retry
+	var lastErr error
+	for attempt := 0; attempt < rc.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(rc.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		resp, err := f.tr.ForwardRun(ctx, node, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller is gone; retrying on its behalf is pointless.
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// flakyTransport fails the first n attempts, then answers.
+type flakyTransport struct {
+	failures int
+	calls    int
+	resp     *Response
+}
+
+func (f *flakyTransport) ForwardRun(ctx context.Context, node string, body []byte) (*Response, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, fmt.Errorf("dial %s: connection refused", node)
+	}
+	return f.resp, nil
+}
+
+func testFabric(t *testing.T, tr Transport, attempts int) *Fabric {
+	t.Helper()
+	f, err := New(Config{
+		Self:      "http://a",
+		Peers:     []string{"http://b", "http://c"},
+		Transport: tr,
+		Retry:     RetryConfig{Attempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestForwardRetriesTransportFailures(t *testing.T) {
+	tr := &flakyTransport{failures: 2, resp: &Response{Status: 200, Body: []byte(`{}`)}}
+	f := testFabric(t, tr, 3)
+	resp, err := f.Forward(context.Background(), "http://b", nil)
+	if err != nil {
+		t.Fatalf("forward after transient failures: %v", err)
+	}
+	if resp.Status != 200 || tr.calls != 3 {
+		t.Errorf("status=%d calls=%d, want 200 after exactly 3 attempts", resp.Status, tr.calls)
+	}
+}
+
+func TestForwardExhaustsRetryBudget(t *testing.T) {
+	tr := &flakyTransport{failures: 99}
+	f := testFabric(t, tr, 3)
+	_, err := f.Forward(context.Background(), "http://b", nil)
+	if err == nil {
+		t.Fatal("forward to a dead peer must fail after the budget")
+	}
+	if tr.calls != 3 {
+		t.Errorf("calls = %d, want exactly the 3-attempt budget", tr.calls)
+	}
+}
+
+// TestForwardPeerResponseNotRetried: an HTTP answer — even an error
+// status — is a reachable peer speaking for itself; the retry budget
+// is for transport failures only.
+func TestForwardPeerResponseNotRetried(t *testing.T) {
+	tr := &flakyTransport{resp: &Response{Status: 429, RetryAfter: "2"}}
+	f := testFabric(t, tr, 3)
+	resp, err := f.Forward(context.Background(), "http://b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 429 || resp.RetryAfter != "2" || tr.calls != 1 {
+		t.Errorf("resp=%+v calls=%d, want the 429 surfaced after one attempt", resp, tr.calls)
+	}
+}
+
+func TestForwardHonorsContext(t *testing.T) {
+	tr := &flakyTransport{failures: 99}
+	f := testFabric(t, tr, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := f.Forward(ctx, "http://b", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled forward kept retrying")
+	}
+}
+
+func TestBackoffGrowsAndStaysBounded(t *testing.T) {
+	rc := RetryConfig{Attempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	for k := 0; k < 8; k++ {
+		d := rc.backoff(k)
+		// Jitter spans [0.5, 1.5) of the capped exponential step.
+		step := rc.BaseDelay << uint(k)
+		if step > rc.MaxDelay || step <= 0 {
+			step = rc.MaxDelay
+		}
+		if d < step/2 || d >= step+step/2 {
+			t.Errorf("backoff(%d) = %v outside [%v, %v)", k, d, step/2, step+step/2)
+		}
+		if d >= rc.MaxDelay+rc.MaxDelay/2 {
+			t.Errorf("backoff(%d) = %v exceeds the jittered cap", k, d)
+		}
+	}
+}
+
+func TestNewValidatesAndAddsSelf(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"http://b"}}); err == nil {
+		t.Error("New without Self must fail")
+	}
+	f, err := New(Config{Self: "http://a", Peers: []string{"http://b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := f.Members()
+	if len(members) != 2 {
+		t.Fatalf("members = %v, want self added to the ring", members)
+	}
+	if f.Self() != "http://a" {
+		t.Errorf("Self = %q", f.Self())
+	}
+	// Every key has exactly one owner, drawn from the membership.
+	for _, k := range syntheticKeys(100) {
+		owner := f.Owner(k)
+		if owner != "http://a" && owner != "http://b" {
+			t.Fatalf("owner %q not a member", owner)
+		}
+	}
+}

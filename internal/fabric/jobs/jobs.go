@@ -1,0 +1,302 @@
+// Package jobs is the platform's transport-agnostic run-scheduling
+// core: the pieces every front-end needs to turn "a stream of requests
+// for canonically-keyed work" into "each distinct piece of work
+// computed exactly once, under bounded concurrency, with overload
+// surfaced instead of absorbed".
+//
+// It grew out of hybridmem.Platform, which carried a private
+// single-flight result cache, a worker pool, and an in-flight
+// semaphore. The clustered tier (internal/fabric) needs the same three
+// mechanisms on the far side of a network hop, so they live here,
+// generic over the result type and ignorant of HTTP, experiment specs,
+// and the store alike:
+//
+//   - Group: single-flight memoization by canonical key. The first
+//     caller computes; concurrent callers with the same key join the
+//     in-flight entry; later callers are served the memoized result.
+//   - Admission: bounded in-flight slots plus a bounded wait queue.
+//     Work beyond both bounds is rejected with ErrOverloaded so the
+//     caller can shed load (HTTP 429) instead of queueing unboundedly.
+//   - Pool: a fixed-width worker pool over an indexed work list, with
+//     first-error cancellation.
+//
+// All types are safe for concurrent use.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports work rejected by an Admission controller: every
+// in-flight slot is busy and the wait queue is at capacity. The caller
+// should retry later (HTTP front-ends translate it to 429 +
+// Retry-After).
+var ErrOverloaded = errors.New("jobs: overloaded: queue at capacity")
+
+// entry is one in-flight or completed computation. done closes once
+// res/err are final.
+type entry[R any] struct {
+	done chan struct{}
+	res  R
+	err  error
+}
+
+// Group memoizes computations by key and deduplicates concurrent
+// identical ones (single-flight): the first caller for a key computes,
+// everyone else waits on its entry. Failed computations are not
+// memoized — a later call retries.
+type Group[R any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[R]
+	hits    uint64
+	misses  uint64
+}
+
+// NewGroup builds an empty Group.
+func NewGroup[R any]() *Group[R] {
+	return &Group[R]{entries: map[string]*entry[R]{}}
+}
+
+// Stats is a snapshot of a Group's behaviour. Hits counts calls served
+// from a completed or in-flight entry (including successful Peeks);
+// Misses counts entries registered (genuine computes); Entries counts
+// entries currently held — memoized successes plus in-flight work.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats returns a snapshot of the group.
+func (g *Group[R]) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{Hits: g.hits, Misses: g.misses, Entries: len(g.entries)}
+}
+
+// Do returns the result for key, computing it with compute if no entry
+// exists. Concurrent calls with an equal key share one compute;
+// computed reports whether this call ran compute itself. A waiter's
+// ctx cancels its wait (not the shared compute); the computing call's
+// ctx is passed to compute. If compute panics, the entry is retired,
+// waiters receive an error, and the panic propagates to the computing
+// caller.
+func (g *Group[R]) Do(ctx context.Context, key string, compute func(context.Context) (R, error)) (res R, computed bool, err error) {
+	// Bail before registering: entries must only ever complete with a
+	// genuine outcome, never one caller's cancellation — waiters with
+	// live contexts share them.
+	if err := ctx.Err(); err != nil {
+		return res, false, err
+	}
+	g.mu.Lock()
+	if e, ok := g.entries[key]; ok {
+		g.hits++
+		g.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.res, false, e.err
+		case <-ctx.Done():
+			return res, false, ctx.Err()
+		}
+	}
+	e := &entry[R]{done: make(chan struct{})}
+	g.entries[key] = e
+	g.misses++
+	g.mu.Unlock()
+
+	finished := false
+	defer func() {
+		// If compute panicked, unregister the entry and release the
+		// waiters before the panic propagates, or they would block
+		// forever.
+		if !finished {
+			g.mu.Lock()
+			delete(g.entries, key)
+			g.mu.Unlock()
+			e.err = fmt.Errorf("jobs: %s: compute panicked", key)
+			close(e.done)
+		}
+	}()
+	e.res, e.err = compute(ctx)
+	finished = true
+	if e.err != nil {
+		// Failed computations are not memoized; a later call retries.
+		g.mu.Lock()
+		delete(g.entries, key)
+		g.mu.Unlock()
+	}
+	close(e.done)
+	return e.res, true, e.err
+}
+
+// Peek returns the memoized result for key if a successful computation
+// has completed, without waiting on in-flight work and without
+// computing. A successful Peek counts as a hit.
+func (g *Group[R]) Peek(key string) (R, bool) {
+	var zero R
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.entries[key]
+	if !ok {
+		return zero, false
+	}
+	select {
+	case <-e.done:
+		if e.err == nil {
+			g.hits++
+			return e.res, true
+		}
+	default: // in flight; Peek never waits
+	}
+	return zero, false
+}
+
+// Joinable reports whether a Do for key would be served from an
+// existing entry right now — completed or in flight — without starting
+// a new compute. The answer is advisory: an in-flight entry can fail
+// and be retired before a subsequent Do, which would then compute.
+// Admission controllers use this to let duplicate requests join a
+// running compute without consuming a concurrency slot.
+func (g *Group[R]) Joinable(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.entries[key]
+	return ok
+}
+
+// Admission bounds a node's concurrent work: at most maxInFlight
+// acquisitions run at once, at most maxQueued more wait for a slot,
+// and everything beyond both is rejected immediately with
+// ErrOverloaded. Rejection is deliberate back-pressure: an overloaded
+// node answers "try later" in microseconds instead of stalling every
+// caller behind an unbounded queue.
+type Admission struct {
+	slots     chan struct{}
+	maxQueued int
+
+	mu       sync.Mutex
+	queued   int
+	rejected atomic.Uint64
+}
+
+// NewAdmission builds an Admission with maxInFlight concurrent slots
+// and a wait queue of maxQueued. Both must be at least 1 and 0
+// respectively; maxQueued 0 means "no waiting: busy slots reject".
+func NewAdmission(maxInFlight, maxQueued int) *Admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	return &Admission{slots: make(chan struct{}, maxInFlight), maxQueued: maxQueued}
+}
+
+// Acquire obtains an in-flight slot, waiting in the bounded queue if
+// all slots are busy. It returns a release function on success,
+// ErrOverloaded when the queue is at capacity, or ctx.Err if the
+// caller's context cancels while queued. The release function must be
+// called exactly once.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	release = func() { <-a.slots }
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.maxQueued {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	a.queued++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Depth reports the controller's current load: slots in flight and
+// callers waiting for one.
+func (a *Admission) Depth() (inflight, queued int) {
+	a.mu.Lock()
+	queued = a.queued
+	a.mu.Unlock()
+	return len(a.slots), queued
+}
+
+// Capacity reports the configured bounds.
+func (a *Admission) Capacity() (maxInFlight, maxQueued int) {
+	return cap(a.slots), a.maxQueued
+}
+
+// Rejected counts Acquires refused with ErrOverloaded since
+// construction.
+func (a *Admission) Rejected() uint64 { return a.rejected.Load() }
+
+// Pool runs n indexed work items through a fixed-width worker pool and
+// returns the first error (nil if every item succeeded). The first
+// failure cancels the pool's context: queued items are skipped,
+// in-flight items run to completion. Cancelling ctx stops the pool the
+// same way. workers is clamped to [1, n].
+func Pool(ctx context.Context, workers, n int, run func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queue := make(chan int, n)
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					continue // drain without running
+				}
+				if err := run(ctx, i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,328 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupSingleFlight(t *testing.T) {
+	g := NewGroup[int]()
+	const n = 32
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				once.Do(func() { close(started) })
+				<-gate
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	<-started
+	// The flight is in progress: joiners must be visible, Peek must not.
+	if !g.Joinable("k") {
+		t.Error("in-flight entry not joinable")
+	}
+	if _, ok := g.Peek("k"); ok {
+		t.Error("Peek returned an in-flight entry")
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computes = %d, want 1", got)
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Errorf("results[%d] = %d, want 42", i, r)
+		}
+	}
+	st := g.Stats()
+	if st.Misses != 1 || st.Hits != n-1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss, %d hits, 1 entry", st, n-1)
+	}
+	if res, ok := g.Peek("k"); !ok || res != 42 {
+		t.Errorf("Peek after completion = (%d, %v), want (42, true)", res, ok)
+	}
+}
+
+func TestGroupFailureNotMemoized(t *testing.T) {
+	g := NewGroup[string]()
+	boom := errors.New("boom")
+	if _, _, err := g.Do(context.Background(), "k", func(context.Context) (string, error) {
+		return "", boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if g.Joinable("k") {
+		t.Error("failed entry still registered")
+	}
+	res, computed, err := g.Do(context.Background(), "k", func(context.Context) (string, error) {
+		return "ok", nil
+	})
+	if err != nil || !computed || res != "ok" {
+		t.Errorf("retry = (%q, %v, %v), want a fresh compute", res, computed, err)
+	}
+}
+
+func TestGroupPanicReleasesWaiters(t *testing.T) {
+	g := NewGroup[int]()
+	started := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		<-started
+		_, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			t.Error("waiter must join, not compute")
+			return 0, nil
+		})
+		waiterErr <- err
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			// Give the waiter a moment to register on the entry.
+			time.Sleep(10 * time.Millisecond)
+			panic("kaboom")
+		})
+	}()
+
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Error("waiter got nil error from a panicked compute")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after compute panicked")
+	}
+	if g.Joinable("k") {
+		t.Error("panicked entry still registered")
+	}
+}
+
+func TestGroupCancelledWaiter(t *testing.T) {
+	g := NewGroup[int]()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		close(started)
+		<-gate
+		return 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := g.Do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	// A pre-cancelled context must not even register an entry.
+	if _, _, err := g.Do(ctx, "fresh", nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Do err = %v", err)
+	}
+	if g.Joinable("fresh") {
+		t.Error("cancelled Do registered an entry")
+	}
+	close(gate)
+}
+
+// TestAdmissionLoad is the synthetic high-request-count back-pressure
+// test: a storm of acquisitions against a tiny node must admit exactly
+// capacity + queue and reject everything else immediately, then drain
+// cleanly.
+func TestAdmissionLoad(t *testing.T) {
+	const (
+		maxInFlight = 4
+		maxQueued   = 8
+		storm       = 2000
+	)
+	a := NewAdmission(maxInFlight, maxQueued)
+
+	release := make(chan struct{})
+	var (
+		wg       sync.WaitGroup
+		admitted atomic.Int64
+		rejected atomic.Int64
+	)
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := a.Acquire(context.Background())
+			if err != nil {
+				if !errors.Is(err, ErrOverloaded) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				rejected.Add(1)
+				return
+			}
+			admitted.Add(1)
+			<-release
+			rel()
+		}()
+	}
+
+	// Wait until the storm has fully settled: every goroutine is either
+	// holding a slot, parked in the queue, or rejected.
+	deadline := time.After(10 * time.Second)
+	for {
+		inflight, queued := a.Depth()
+		if int64(inflight+queued)+rejected.Load() == storm {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("storm never settled: inflight=%d queued=%d rejected=%d",
+				inflight, queued, rejected.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	inflight, queued := a.Depth()
+	if inflight != maxInFlight {
+		t.Errorf("inflight = %d, want %d", inflight, maxInFlight)
+	}
+	if queued != maxQueued {
+		t.Errorf("queued = %d, want %d", queued, maxQueued)
+	}
+	if got := rejected.Load(); got != storm-maxInFlight-maxQueued {
+		t.Errorf("rejected = %d, want %d", got, storm-maxInFlight-maxQueued)
+	}
+	if got := a.Rejected(); got != uint64(storm-maxInFlight-maxQueued) {
+		t.Errorf("Rejected() = %d, want %d", got, storm-maxInFlight-maxQueued)
+	}
+
+	// Drain: every admitted acquisition completes and releases.
+	close(release)
+	wg.Wait()
+	if got := admitted.Load(); got != maxInFlight+maxQueued {
+		t.Errorf("admitted = %d, want %d", got, maxInFlight+maxQueued)
+	}
+	inflight, queued = a.Depth()
+	if inflight != 0 || queued != 0 {
+		t.Errorf("after drain: inflight=%d queued=%d, want 0/0", inflight, queued)
+	}
+	// The node recovered: a fresh acquisition is admitted immediately.
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("post-storm acquire: %v", err)
+	}
+	rel()
+}
+
+func TestAdmissionQueuedCancel(t *testing.T) {
+	a := NewAdmission(1, 4)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		errCh <- err
+	}()
+	// Wait for the second acquire to park in the queue, then cancel it.
+	for {
+		if _, queued := a.Depth(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Errorf("queued cancel err = %v, want context.Canceled", err)
+	}
+	if _, queued := a.Depth(); queued != 0 {
+		t.Error("cancelled waiter still counted as queued")
+	}
+	rel()
+}
+
+func TestAdmissionZeroQueueRejects(t *testing.T) {
+	a := NewAdmission(1, 0)
+	rel, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("err = %v, want ErrOverloaded with a zero queue", err)
+	}
+	rel()
+}
+
+func TestPoolRunsEverythingInOrderlessly(t *testing.T) {
+	const n = 100
+	var done [n]atomic.Bool
+	err := Pool(context.Background(), 7, n, func(_ context.Context, i int) error {
+		if done[i].Swap(true) {
+			return fmt.Errorf("item %d ran twice", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Errorf("item %d never ran", i)
+		}
+	}
+}
+
+func TestPoolFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Pool(context.Background(), 1, 50, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want first failure", err)
+	}
+	// One worker runs serially: items after the failure are skipped.
+	if got := ran.Load(); got != 4 {
+		t.Errorf("ran %d items, want 4 (failure cancels the rest)", got)
+	}
+}
+
+func TestPoolContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := Pool(ctx, 4, 10, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d items ran under a cancelled context", ran.Load())
+	}
+}

@@ -1,0 +1,129 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultReplicas is the per-node virtual-point count of a Ring.
+// 128 points per node keeps the expected ownership imbalance across a
+// small fleet within a few tens of percent while lookups stay a single
+// binary search over a few hundred points.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring mapping canonical spec
+// keys to node names. Every node projects Replicas virtual points onto
+// a 64-bit circle; a key is owned by the node whose point follows the
+// key's hash clockwise. Placement is a pure function of the membership
+// list and the key — every node with the same peer list computes the
+// same owner for every key, with no coordination — and adding or
+// removing one node moves only the keys that land on that node
+// (roughly 1/N of the space), never keys between surviving nodes.
+type Ring struct {
+	points []ringPoint
+	nodes  []string // sorted, deduplicated membership
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// hash64 maps a string onto the ring's 64-bit circle. SHA-256
+// (truncated) rather than a cheap multiplicative hash: placement must
+// be identical across every process, architecture, and Go release that
+// ever serves the fleet, and must stay well distributed for the short,
+// highly similar strings canonical spec keys are.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given node names (order-insensitive;
+// duplicates collapse). replicas <= 0 takes DefaultReplicas. A ring
+// over zero nodes is valid and owns nothing.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*replicas)}
+	var buf [8]byte
+	for _, n := range uniq {
+		for i := 0; i < replicas; i++ {
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			h := sha256.New()
+			h.Write([]byte(n))
+			h.Write([]byte{0})
+			h.Write(buf[:])
+			var sum [sha256.Size]byte
+			h.Sum(sum[:0])
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash collisions between virtual points are broken by name so
+		// every process sorts identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Contains reports whether node is a member.
+func (r *Ring) Contains(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// Owner returns the node that owns key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].node
+}
+
+// With returns a new ring with node added (replica count preserved by
+// construction from the same membership rules).
+func (r *Ring) With(node string, replicas int) *Ring {
+	return NewRing(append(r.Nodes(), node), replicas)
+}
+
+// Without returns a new ring with node removed.
+func (r *Ring) Without(node string, replicas int) *Ring {
+	nodes := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			nodes = append(nodes, n)
+		}
+	}
+	return NewRing(nodes, replicas)
+}

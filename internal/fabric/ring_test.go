@@ -1,0 +1,138 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+// syntheticKeys builds canonical-key-shaped strings: ring balance must
+// hold for the short, highly similar keys the platform actually
+// produces, not for random blobs.
+func syntheticKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf(
+			"mode=emulation;seed=1;l3=0;nursery=0;obs=0;tsock=-1;mon=0;quantum=0;unmap=false;wear=false;boot=4;factory=scale:quick;policy=static;app=app%d;gc=KG-N;n=%d;ds=default;native=false",
+			i%97, i)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://127.0.0.1:%d", 18080+i)
+	}
+	return nodes
+}
+
+// TestRingBalance: across 3-, 5-, and 7-node fleets, every node's
+// share of a large key population stays within a reasonable band of
+// the fair share.
+func TestRingBalance(t *testing.T) {
+	keys := syntheticKeys(20000)
+	for _, n := range []int{3, 5, 7} {
+		r := NewRing(nodeNames(n), 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d nodes: only %d ever own a key", n, len(counts))
+		}
+		fair := float64(len(keys)) / float64(n)
+		for node, c := range counts {
+			share := float64(c) / fair
+			if share < 0.5 || share > 1.6 {
+				t.Errorf("%d nodes: %s owns %.2fx the fair share (%d keys)", n, node, share, c)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of
+// (membership, key) — independent ring constructions, including ones
+// built from a permuted peer list, agree on every owner.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := nodeNames(5)
+	a := NewRing(nodes, 0)
+	permuted := []string{nodes[3], nodes[0], nodes[4], nodes[2], nodes[1]}
+	b := NewRing(permuted, 0)
+	for _, k := range syntheticKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner(%q) differs across identical memberships: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+		if a.Owner(k) != a.Owner(k) {
+			t.Fatalf("owner(%q) not stable", k)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding a node steals keys only for the new
+// node (no key moves between surviving nodes), removing a node moves
+// only the keys it owned, and the moved fraction is near 1/N.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := syntheticKeys(20000)
+	nodes := nodeNames(5)
+	base := NewRing(nodes, 0)
+	newNode := "http://127.0.0.1:19000"
+
+	grown := base.With(newNode, 0)
+	moved := 0
+	for _, k := range keys {
+		was, now := base.Owner(k), grown.Owner(k)
+		if was != now {
+			moved++
+			if now != newNode {
+				t.Fatalf("adding %s moved %q from %s to %s (keys may only move to the new node)",
+					newNode, k, was, now)
+			}
+		}
+	}
+	fair := float64(len(keys)) / 6
+	if f := float64(moved) / fair; f < 0.5 || f > 1.6 {
+		t.Errorf("adding a 6th node moved %d keys, %.2fx the fair share", moved, f)
+	}
+
+	shrunk := base.Without(nodes[2], 0)
+	moved = 0
+	for _, k := range keys {
+		was, now := base.Owner(k), shrunk.Owner(k)
+		if was != nodes[2] {
+			if now != was {
+				t.Fatalf("removing %s moved %q between survivors (%s -> %s)", nodes[2], k, was, now)
+			}
+			continue
+		}
+		moved++
+		if now == nodes[2] {
+			t.Fatalf("removed node still owns %q", k)
+		}
+	}
+	if moved == 0 {
+		t.Error("removed node owned nothing")
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("empty ring Len = %d", empty.Len())
+	}
+
+	solo := NewRing([]string{"a", "a", ""}, 4)
+	if solo.Len() != 1 {
+		t.Fatalf("duplicates/empties not collapsed: %v", solo.Nodes())
+	}
+	for _, k := range syntheticKeys(50) {
+		if solo.Owner(k) != "a" {
+			t.Fatalf("single-node ring must own everything")
+		}
+	}
+	if !solo.Contains("a") || solo.Contains("b") {
+		t.Error("Contains misreports membership")
+	}
+}

@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hybridmem "repro"
+	"repro/internal/fabric"
+)
+
+// fastRetry keeps cluster tests snappy: a dead peer is given up on in
+// tens of milliseconds instead of DefaultRetry's third of a second.
+var fastRetry = fabric.RetryConfig{Attempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+
+// clusterNode is one in-process hybridserved node.
+type clusterNode struct {
+	srv *Server
+	ts  *httptest.Server
+	url string
+}
+
+// startCluster boots n identically-configured Quick-scale nodes on
+// loopback, all sharing one static peer list. Listeners are allocated
+// before any server is built so every node's Fabric can be configured
+// with the full membership up front.
+func startCluster(t *testing.T, n int, cfg func(i int) Config) []*clusterNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		fab, err := fabric.New(fabric.Config{Self: urls[i], Peers: urls, Retry: fastRetry})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Config{MaxInFlight: 4, Fabric: fab}
+		if cfg != nil {
+			c = cfg(i)
+			c.Fabric = fab
+		}
+		p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick), hybridmem.WithStore(t.TempDir()))
+		s, err := New(p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(s)
+		ts.Listener.Close()
+		ts.Listener = listeners[i]
+		ts.Start()
+		t.Cleanup(ts.Close)
+		nodes[i] = &clusterNode{srv: s, ts: ts, url: urls[i]}
+	}
+	return nodes
+}
+
+// metricValue extracts one node-labelled series from a /metrics dump.
+func metricValue(t *testing.T, url, name string) uint64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparsable metric line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s missing from %s/metrics", name, url)
+	return 0
+}
+
+// sweepItems posts a sweep and decodes the full ndjson stream.
+func sweepItems(t *testing.T, url string, req SweepRequest) []SweepItem {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/sweep", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d", resp.StatusCode)
+	}
+	var items []SweepItem
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var item SweepItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad sweep line %q: %v", sc.Text(), err)
+		}
+		items = append(items, item)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+// canonicalStream re-marshals sweep items in index order so two
+// streams can be compared byte-for-byte regardless of completion
+// order.
+func canonicalStream(t *testing.T, items []SweepItem) string {
+	t.Helper()
+	sorted := append([]SweepItem(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	var b strings.Builder
+	for _, item := range sorted {
+		line, err := json.Marshal(item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFabricSweepMatchesSingleNode: a sweep submitted to one node of a
+// three-node fabric streams byte-identical results to the same sweep
+// on a standalone server — sharding changes where cells execute, never
+// what they produce.
+func TestFabricSweepMatchesSingleNode(t *testing.T) {
+	req := SweepRequest{Apps: []string{"PR", "CC", "ALS"}, Collectors: []string{"KG-W"}}
+	_, solo := newTestServer(t)
+	want := canonicalStream(t, sweepItems(t, solo.URL, req))
+
+	nodes := startCluster(t, 3, nil)
+	got := canonicalStream(t, sweepItems(t, nodes[0].url, req))
+	if got != want {
+		t.Errorf("3-node sweep diverged from single-node:\n got: %s\nwant: %s", got, want)
+	}
+
+	// The grid actually spread: with three cells hashed across three
+	// nodes it is possible (though unlikely) that one node owns all of
+	// them, but the entry node must at least have answered everything.
+	var served uint64
+	for _, n := range nodes {
+		served += metricValue(t, n.url, "hybridserved_cache_misses_total")
+	}
+	if served != 3 {
+		t.Errorf("fleet computed %d cells, want exactly 3 (one compute per cell)", served)
+	}
+}
+
+// TestFabricCrossNodeSingleFlight: N identical concurrent requests
+// sprayed round-robin across the fleet produce exactly one emulation.
+// All of them funnel to the key's ring owner, whose single-flight
+// coalesces the fleet's duplicates; the bookkeeping is deterministic —
+// however the race resolves, one request computes and N-1 coalesce.
+func TestFabricCrossNodeSingleFlight(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	const n = 9
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+	)
+	start.Add(1)
+	done.Add(n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			resp := postJSON(t, nodes[i%len(nodes)].url+"/v1/run", RunRequest{App: "pmd"})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("run %d = %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var misses, coalesced, forwarded, degraded uint64
+	for _, node := range nodes {
+		misses += metricValue(t, node.url, "hybridserved_cache_misses_total")
+		coalesced += metricValue(t, node.url, "fabric_coalesced_total")
+		forwarded += metricValue(t, node.url, "fabric_forwarded_total")
+		degraded += metricValue(t, node.url, "fabric_degraded_total")
+	}
+	if misses != 1 {
+		t.Errorf("fleet computed %d times, want exactly 1", misses)
+	}
+	if coalesced != n-1 {
+		t.Errorf("fabric_coalesced_total = %d across the fleet, want %d", coalesced, n-1)
+	}
+	// Two of the three nodes do not own the key; their three requests
+	// each were forwarded (none should have degraded — every peer was
+	// alive).
+	if forwarded != 6 {
+		t.Errorf("fabric_forwarded_total = %d across the fleet, want 6", forwarded)
+	}
+	if degraded != 0 {
+		t.Errorf("fabric_degraded_total = %d across the fleet, want 0", degraded)
+	}
+}
+
+// TestFabricNodeDeathMidSweep: killing a peer mid-sweep must not lose
+// or corrupt cells. The entry node runs its sweep workers serially
+// (MaxInFlight 1), so once the first item arrives the rest of the grid
+// is still queued; a peer killed at that point forces every later cell
+// it owned through the degraded local-execution path, and the stream
+// still completes byte-identical to a healthy single-node sweep.
+func TestFabricNodeDeathMidSweep(t *testing.T) {
+	req := SweepRequest{Apps: []string{"PR", "CC", "ALS"}, Collectors: []string{"KG-W", "PCM-Only"}}
+	_, solo := newTestServer(t)
+	baseline := sweepItems(t, solo.URL, req)
+	want := canonicalStream(t, baseline)
+	sort.Slice(baseline, func(i, j int) bool { return baseline[i].Index < baseline[j].Index })
+
+	nodes := startCluster(t, 3, func(i int) Config {
+		if i == 0 {
+			return Config{MaxInFlight: 1}
+		}
+		return Config{MaxInFlight: 4}
+	})
+
+	// Pick the victim by ring position: the owner of the sweep's last
+	// cell, which is guaranteed still queued when the first item lands
+	// (serial workers dispatch in index order). If the entry node owns
+	// it, fall back to any peer owning a non-first cell; with no such
+	// peer, every late cell is local and only completeness is testable.
+	ring := nodes[0].srv.fab
+	victim := ""
+	assertDegraded := false
+	if owner := ring.Owner(baseline[len(baseline)-1].Key); owner != nodes[0].url {
+		victim, assertDegraded = owner, true
+	} else {
+		for _, item := range baseline[1:] {
+			if owner := ring.Owner(item.Key); owner != nodes[0].url {
+				victim = owner
+			}
+		}
+		if victim == "" {
+			victim = nodes[1].url
+			t.Log("ring placed every late cell on the entry node; testing completeness only")
+		}
+	}
+
+	resp := postJSON(t, nodes[0].url+"/v1/sweep", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var items []SweepItem
+	for sc.Scan() {
+		var item SweepItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad sweep line %q: %v", sc.Text(), err)
+		}
+		items = append(items, item)
+		if len(items) == 1 {
+			for _, n := range nodes {
+				if n.url == victim {
+					n.ts.CloseClientConnections()
+					n.ts.Close()
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := canonicalStream(t, items); got != want {
+		t.Errorf("sweep with a dead node diverged:\n got: %s\nwant: %s", got, want)
+	}
+	for _, item := range items {
+		if item.Error != "" {
+			t.Errorf("cell %d failed instead of degrading: %s", item.Index, item.Error)
+		}
+	}
+	if assertDegraded {
+		if d := metricValue(t, nodes[0].url, "fabric_degraded_total"); d == 0 {
+			t.Error("entry node never degraded despite its last cell's owner dying mid-sweep")
+		}
+	}
+}
+
+// TestAdmissionOverloadHTTP: a storm of distinct concurrent requests
+// against a deliberately tiny node (one slot, one queue seat) is shed
+// with 429 + Retry-After rather than absorbed, and the node serves
+// normally once the storm passes.
+func TestAdmissionOverloadHTTP(t *testing.T) {
+	_, ts := newTestServerWith(t, Config{MaxInFlight: 1, MaxQueued: 1})
+
+	collectors := []string{"PCM-Only", "KG-N", "KG-B", "KG-N+LOO", "KG-B+LOO", "KG-W", "KG-W-LOO", "KG-W-MDO"}
+	reqs := make([]RunRequest, 0, 2*len(collectors))
+	for _, k := range collectors {
+		for _, inst := range []int{1, 2} {
+			reqs = append(reqs, RunRequest{App: "pmd", Collector: k, Instances: inst})
+		}
+	}
+
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		mu    sync.Mutex
+	)
+	rejected, served := 0, 0
+	start.Add(1)
+	done.Add(len(reqs))
+	for _, req := range reqs {
+		go func(req RunRequest) {
+			defer done.Done()
+			start.Wait()
+			resp := postJSON(t, ts.URL+"/v1/run", req)
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				mu.Lock()
+				served++
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+			default:
+				t.Errorf("run %+v = %d, want 200 or 429", req, resp.StatusCode)
+			}
+		}(req)
+	}
+	start.Done()
+	done.Wait()
+
+	if served == 0 {
+		t.Error("overloaded node served nothing at all")
+	}
+	if rejected == 0 {
+		t.Errorf("no request shed by a 1-slot/1-seat node under %d concurrent distinct requests", len(reqs))
+	}
+	if v := metricValue(t, ts.URL, "hybridserved_rejected_total"); v != uint64(rejected) {
+		t.Errorf("hybridserved_rejected_total = %d, want %d", v, rejected)
+	}
+
+	// Recovery: the storm is over, the next request is served.
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{App: "pmd"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-storm run = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestNodeHealthz: /v1/healthz reports identity, ring membership, and
+// admission load.
+func TestNodeHealthz(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	for _, n := range nodes {
+		resp, err := http.Get(n.url + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Status      string   `json:"status"`
+			Node        string   `json:"node"`
+			Ring        []string `json:"ring"`
+			MaxInflight int      `json:"maxInflight"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+			t.Fatal(derr)
+		}
+		resp.Body.Close()
+		if out.Status != "ok" || out.Node != n.url {
+			t.Errorf("healthz identity = %q/%q, want ok/%q", out.Status, out.Node, n.url)
+		}
+		if len(out.Ring) != 3 {
+			t.Errorf("ring = %v, want all 3 members", out.Ring)
+		}
+		if out.MaxInflight != 4 {
+			t.Errorf("maxInflight = %d, want 4", out.MaxInflight)
+		}
+	}
+}
+
+// newTestServerWith is newTestServer with an explicit Config.
+func newTestServerWith(t *testing.T, cfg Config) (*hybridmem.Platform, *httptest.Server) {
+	t.Helper()
+	p := hybridmem.New(hybridmem.WithScale(hybridmem.Quick))
+	s, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return p, ts
+}

@@ -2,8 +2,17 @@
 // front-end that lets many clients share one emulation Platform (and
 // its durable result store). Identical concurrent requests coalesce
 // into one platform compute through the Platform's single-flight
-// cache; total in-flight platform work is bounded by a semaphore so a
-// burst of clients cannot oversubscribe the host.
+// cache; total in-flight platform work is bounded by an admission
+// controller (internal/fabric/jobs) so a burst of clients cannot
+// oversubscribe the host — work beyond the bounded wait queue is shed
+// with 429 + Retry-After instead of queueing unboundedly.
+//
+// With a Fabric configured (cmd/hybridserved -peers) the server is one
+// node of a sharded cluster: canonical spec keys are consistent-hashed
+// across the fleet, non-owners forward runs to their owner (falling
+// back to local execution when the peer is unreachable — degraded,
+// never failed), and the owner's single-flight coalesces identical
+// requests arriving from every node into one emulation.
 //
 // Endpoints:
 //
@@ -14,7 +23,8 @@
 //	GET  /v1/policies the placement policies the engine offers
 //	GET  /v1/trace    record a run and stream its placement trace (ndjson)
 //	GET  /healthz     liveness
-//	GET  /metrics     cache + store counters (Prometheus text format)
+//	GET  /v1/healthz  node identity, ring membership, queue depth
+//	GET  /metrics     cache + store + fabric counters (Prometheus text)
 package serve
 
 import (
@@ -30,25 +40,46 @@ import (
 	"sync/atomic"
 
 	hybridmem "repro"
+	"repro/internal/fabric"
+	"repro/internal/fabric/jobs"
 	"repro/internal/store"
 )
 
 // Config parameterizes a Server.
 type Config struct {
 	// MaxInFlight bounds concurrent platform runs across all requests
-	// (0 = one per host core). Requests past the bound queue on the
-	// semaphore and respect their context's cancellation.
+	// (0 = one per host core). Requests past the bound wait in a
+	// bounded queue and respect their context's cancellation.
 	MaxInFlight int
+	// MaxQueued bounds how many requests may wait for an in-flight
+	// slot (0 = 8x MaxInFlight; negative = no waiting). Requests past
+	// the queue are rejected with 429 + Retry-After.
+	MaxQueued int
+	// Node names this node in metric labels and /v1/healthz. Empty
+	// defaults to the fabric's self name, or "local" without a fabric.
+	Node string
+	// Fabric, when non-nil, makes this server one node of a sharded
+	// cluster: runs whose canonical key hashes to a peer are forwarded
+	// there, and forwarded-in requests always execute locally.
+	Fabric *fabric.Fabric
 }
 
 // Server routes the hybridserved API onto one shared Platform. It is
 // an http.Handler; all endpoints are safe for concurrent use.
 type Server struct {
 	p        *hybridmem.Platform
-	sem      chan struct{}
+	adm      *jobs.Admission
+	fab      *fabric.Fabric // nil = single node
+	node     string
 	mux      *http.ServeMux
 	inflight atomic.Int64
 	requests atomic.Uint64
+
+	// Fabric counters (also maintained single-node, where coalesced
+	// still counts requests served without a fresh compute).
+	forwarded atomic.Uint64 // runs served by a peer owner's response
+	coalesced atomic.Uint64 // runs served by joining/reusing existing work
+	degraded  atomic.Uint64 // forwards abandoned for local execution
 }
 
 // New builds a Server on the platform. The platform's durable store
@@ -62,7 +93,22 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	s := &Server{p: p, sem: make(chan struct{}, n), mux: http.NewServeMux()}
+	q := cfg.MaxQueued
+	switch {
+	case q == 0:
+		q = 8 * n
+	case q < 0:
+		q = 0
+	}
+	node := cfg.Node
+	if node == "" {
+		if cfg.Fabric != nil {
+			node = cfg.Fabric.Self()
+		} else {
+			node = "local"
+		}
+	}
+	s := &Server{p: p, adm: jobs.NewAdmission(n, q), fab: cfg.Fabric, node: node, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/autotune", s.handleAutotune)
@@ -70,9 +116,13 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleNodeHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
+
+// Node returns the server's node label.
+func (s *Server) Node() string { return s.node }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -175,41 +225,112 @@ func record(p *hybridmem.Platform, spec hybridmem.RunSpec, res hybridmem.Result)
 	if err != nil {
 		return store.Record{}, err
 	}
-	return store.Record{Key: key, Sum: sum, Spec: spec, Result: res}, nil
+	return store.Record{V: store.RecordVersion, Key: key, Sum: sum, Spec: spec, Result: res}, nil
 }
 
-// run executes one spec. Already-available results (memory or store)
-// are served immediately, and duplicates of an in-flight run join its
-// single-flight entry; only work that may actually start a compute
-// takes a semaphore slot, so neither a burst of cached reads nor N
-// copies of one request queue out unrelated work.
-func (s *Server) run(r *http.Request, p *hybridmem.Platform, spec hybridmem.RunSpec) (store.Record, error) {
+// runLocal executes one spec on this node. Already-available results
+// (memory or store) are served immediately, and duplicates of an
+// in-flight run join its single-flight entry; only work that may
+// actually start a compute takes an admission slot, so neither a burst
+// of cached reads nor N copies of one request queue out unrelated
+// work. Every request served without running the engine — a cache or
+// store read, or a join onto in-flight work — counts as coalesced, so
+// N identical requests always report exactly N-1 coalesced however the
+// race between them resolves.
+func (s *Server) runLocal(r *http.Request, p *hybridmem.Platform, spec hybridmem.RunSpec) (store.Record, error) {
 	if res, ok := p.Peek(spec); ok {
+		s.coalesced.Add(1)
 		return record(p, spec, res)
 	}
 	if p.Joinable(spec) {
 		// The compute's slot is held by the request that started it.
-		res, err := p.Run(r.Context(), spec)
+		res, computed, err := p.RunShared(r.Context(), spec)
 		if err != nil {
 			return store.Record{}, err
 		}
+		if !computed {
+			s.coalesced.Add(1)
+		}
 		return record(p, spec, res)
 	}
-	select {
-	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
-		return store.Record{}, r.Context().Err()
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		return store.Record{}, err
 	}
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
-		<-s.sem
+		release()
 	}()
-	res, err := p.Run(r.Context(), spec)
+	res, computed, err := p.RunShared(r.Context(), spec)
 	if err != nil {
 		return store.Record{}, err
 	}
+	if !computed {
+		// Lost the Peek/Joinable race to an identical request: the
+		// single-flight group served us its compute.
+		s.coalesced.Add(1)
+	}
 	return record(p, spec, res)
+}
+
+// dispatch routes one run to the node owning its canonical key. Without
+// a fabric — or for requests a peer already forwarded here — it runs
+// locally. A forward that cannot get a usable answer (unreachable peer
+// past the retry budget, a non-200 response, a torn body) degrades to
+// local execution: the fleet loses sharding efficiency for that key,
+// never the run.
+func (s *Server) dispatch(r *http.Request, p *hybridmem.Platform, spec hybridmem.RunSpec, wire RunRequest) (store.Record, error) {
+	if s.fab == nil || r.Header.Get(fabric.ForwardHeader) != "" {
+		return s.runLocal(r, p, spec)
+	}
+	owner := s.fab.Owner(p.SpecKey(spec))
+	if owner == s.fab.Self() {
+		return s.runLocal(r, p, spec)
+	}
+	// A locally known result needs no network hop, wherever the key
+	// lives on the ring.
+	if res, ok := p.Peek(spec); ok {
+		s.coalesced.Add(1)
+		return record(p, spec, res)
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return store.Record{}, err
+	}
+	resp, err := s.fab.Forward(r.Context(), owner, body)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return store.Record{}, r.Context().Err()
+		}
+		s.degraded.Add(1)
+		return s.runLocal(r, p, spec)
+	}
+	if resp.Status != http.StatusOK {
+		// The owner answered but would not serve (overloaded, draining,
+		// mid-upgrade): this node already validated the request, so run
+		// it here under its own admission control instead.
+		s.degraded.Add(1)
+		return s.runLocal(r, p, spec)
+	}
+	var rec store.Record
+	if err := json.Unmarshal(resp.Body, &rec); err != nil {
+		s.degraded.Add(1)
+		return s.runLocal(r, p, spec)
+	}
+	s.forwarded.Add(1)
+	return rec, nil
+}
+
+// failRun maps a run error onto the wire, translating admission
+// rejection into 429 + Retry-After.
+func (s *Server) failRun(w http.ResponseWriter, err error) {
+	if errors.Is(err, jobs.ErrOverloaded) {
+		w.Header().Set("Retry-After", "1")
+		fail(w, http.StatusTooManyRequests, err)
+		return
+	}
+	fail(w, httpStatus(err), err)
 }
 
 // handleRun serves POST /v1/run: one experiment, responded to as the
@@ -225,9 +346,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		fail(w, httpStatus(err), err)
 		return
 	}
-	rec, err := s.run(r, p, spec)
+	rec, err := s.dispatch(r, p, spec, req)
 	if err != nil {
-		fail(w, httpStatus(err), err)
+		s.failRun(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -381,7 +502,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		queue <- i
 	}
 	close(queue)
-	workers := cap(s.sem)
+	workers, _ := s.adm.Capacity()
 	if workers > len(cells) {
 		workers = len(cells)
 	}
@@ -391,7 +512,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for i := range queue {
 				c := cells[i]
-				rec, err := s.run(r, c.p, c.spec)
+				// Reconstruct the cell as a wire request so it can be
+				// forwarded to its ring owner; every field round-trips
+				// through the same Parse* functions the peer resolves
+				// with, and both sides normalize, so the peer lands on
+				// the identical spec and canonical key.
+				wire := RunRequest{
+					App:       c.spec.AppName,
+					Collector: c.spec.Collector.String(),
+					Instances: c.spec.Instances,
+					Dataset:   c.spec.Dataset.String(),
+					Mode:      req.Mode,
+					Policy:    c.policy,
+					Native:    c.spec.Native,
+				}
+				rec, err := s.dispatch(r, c.p, c.spec, wire)
 				if err != nil {
 					// Per-item failures stay in-stream: the rest of the
 					// grid keeps going, the client sees which cell broke.
@@ -466,16 +601,19 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	// Tracing always computes, so it always takes a slot — there is no
 	// cached read or joinable flight to exempt.
-	select {
-	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
-		fail(w, http.StatusServiceUnavailable, r.Context().Err())
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, jobs.ErrOverloaded) {
+			s.failRun(w, err)
+			return
+		}
+		fail(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
-		<-s.sem
+		release()
 	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -568,16 +706,19 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The traced recording always computes, so it always takes a slot.
-	select {
-	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
-		fail(w, http.StatusServiceUnavailable, r.Context().Err())
+	release, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, jobs.ErrOverloaded) {
+			s.failRun(w, err)
+			return
+		}
+		fail(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
-		<-s.sem
+		release()
 	}()
 
 	var trc bytes.Buffer
@@ -727,13 +868,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleNodeHealthz serves GET /v1/healthz: the node's identity, its
+// view of the ring membership, and its admission-controller load — the
+// endpoint a cluster supervisor (or the CI smoke test) polls to decide
+// a node is up and agreeing on topology.
+func (s *Server) handleNodeHealthz(w http.ResponseWriter, r *http.Request) {
+	inflight, queued := s.adm.Depth()
+	maxInFlight, maxQueued := s.adm.Capacity()
+	info := map[string]any{
+		"status":      "ok",
+		"node":        s.node,
+		"inflight":    inflight,
+		"queued":      queued,
+		"maxInflight": maxInFlight,
+		"maxQueued":   maxQueued,
+	}
+	if s.fab != nil {
+		info["ring"] = s.fab.Members()
+	} else {
+		info["ring"] = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
 // handleMetrics serves GET /metrics in the Prometheus text exposition
-// format: the platform cache's two tiers plus the server's own gauges.
+// format: the platform cache's two tiers, the server's own gauges, and
+// the fabric counters. Every series carries a node label so a scraper
+// aggregating a fleet can tell the nodes apart.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.p.CacheStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	label := fmt.Sprintf("{node=%q}", s.node)
 	metric := func(name, typ, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s%s %d\n", name, help, name, typ, name, label, v)
 	}
 	counter := func(name, help string, v uint64) { metric(name, "counter", help, v) }
 	gauge := func(name, help string, v uint64) { metric(name, "gauge", help, v) }
@@ -750,5 +918,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("hybridserved_store_bytes", "Total size of the durable store's segments.", uint64(ss.Bytes))
 	}
 	gauge("hybridserved_inflight_runs", "Platform runs currently executing.", uint64(max(s.inflight.Load(), 0)))
+	_, queued := s.adm.Depth()
+	gauge("hybridserved_queue_depth", "Requests waiting for an in-flight slot.", uint64(queued))
+	counter("hybridserved_rejected_total", "Requests shed with 429 by admission control.", s.adm.Rejected())
 	counter("hybridserved_requests_total", "HTTP requests received.", s.requests.Load())
+	counter("fabric_forwarded_total", "Runs served by forwarding to their ring owner.", s.forwarded.Load())
+	counter("fabric_coalesced_total", "Runs served by joining or reusing existing work.", s.coalesced.Load())
+	counter("fabric_degraded_total", "Forwards abandoned for local execution.", s.degraded.Load())
 }

@@ -299,12 +299,17 @@ func TestMetrics(t *testing.T) {
 	body, _ := io.ReadAll(mresp.Body)
 	text := string(body)
 	for _, metric := range []string{
-		"hybridserved_cache_hits_total",
-		"hybridserved_cache_misses_total 1",
-		"hybridserved_store_misses_total 1",
-		"hybridserved_store_records 1",
-		"hybridserved_inflight_runs 0",
-		"hybridserved_requests_total",
+		`hybridserved_cache_hits_total{node="local"}`,
+		`hybridserved_cache_misses_total{node="local"} 1`,
+		`hybridserved_store_misses_total{node="local"} 1`,
+		`hybridserved_store_records{node="local"} 1`,
+		`hybridserved_inflight_runs{node="local"} 0`,
+		`hybridserved_requests_total{node="local"}`,
+		`hybridserved_rejected_total{node="local"} 0`,
+		`hybridserved_queue_depth{node="local"} 0`,
+		`fabric_forwarded_total{node="local"} 0`,
+		`fabric_coalesced_total{node="local"} 0`,
+		`fabric_degraded_total{node="local"} 0`,
 	} {
 		if !strings.Contains(text, metric) {
 			t.Errorf("metrics missing %q:\n%s", metric, text)

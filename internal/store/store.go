@@ -36,11 +36,31 @@ import (
 	"repro/internal/core"
 )
 
+// RecordVersion is the version stamped into every record this build
+// writes. History:
+//
+//	0 (implicit)  no version field. Pre-placement-engine records also
+//	              lack the ";policy=" key segment; replay migrates them
+//	              (see replay) when their content address still
+//	              verifies, and drops them otherwise.
+//	2             the current schema: versioned envelope around the
+//	              policy-aware canonical key.
+//
+// Records from a *newer* version than the running build are skipped on
+// load (counted in Stats.SkippedVersion, warned once per Open) rather
+// than guessed at: a rolling downgrade must not misread — or worse,
+// rewrite — records it does not understand.
+const RecordVersion = 2
+
 // Record is one stored experiment: the JSON schema persisted in the
 // segment files and served by the hybridserved HTTP API. Changing it
 // changes the on-disk and wire format — the golden-file tests freeze
 // it.
 type Record struct {
+	// V is the record-format version (RecordVersion at write time). It
+	// is an envelope field: Sum does not cover it, so stamping a
+	// migrated record does not change its content address.
+	V int `json:"v"`
 	// Key is the Platform's canonical spec key: the full effective
 	// configuration plus the spec, so equal keys mean bit-identical
 	// Results.
@@ -82,6 +102,12 @@ type Stats struct {
 	// Dropped counts records discarded during recovery: torn tail
 	// lines plus content-address mismatches.
 	Dropped int
+	// Migrated counts legacy (pre-versioning) records rewritten to the
+	// current schema during recovery.
+	Migrated int
+	// SkippedVersion counts records from a newer RecordVersion than
+	// this build understands, left on disk but not loaded.
+	SkippedVersion int
 	// Bytes is the total size of all segment files.
 	Bytes int64
 }
@@ -99,7 +125,13 @@ type Store struct {
 	nextID   int
 	appends  uint64
 	dropped  int
-	closed   bool
+	migrated int
+	skippedV int
+	// skippedLines holds newer-version records verbatim so Compact can
+	// carry them into the next generation untouched: a downgrade must
+	// not destroy data it cannot read.
+	skippedLines [][]byte
+	closed       bool
 }
 
 const segPrefix = "seg-"
@@ -172,6 +204,13 @@ func openDir(dir string) (*Store, error) {
 		if i == len(names)-1 {
 			cleanTail = clean
 		}
+	}
+
+	if s.migrated > 0 || s.skippedV > 0 {
+		// One counted line per Open, not per record: a large legacy
+		// store migrating on first boot should not scroll the log.
+		fmt.Fprintf(os.Stderr, "store: %s: migrated %d legacy record(s), skipped %d newer-version record(s)\n",
+			dir, s.migrated, s.skippedV)
 	}
 
 	// Reuse the last segment only when it ended cleanly; after a torn
@@ -252,15 +291,59 @@ func (s *Store) replay(path string) (clean bool, err error) {
 			clean = false
 			continue
 		}
+		if rec.V > RecordVersion {
+			// A newer build wrote this; keep it byte-for-byte (so
+			// Compact preserves it) but never serve it — its schema is
+			// not ours to interpret.
+			s.skippedV++
+			s.skippedLines = append(s.skippedLines, append([]byte(nil), line...))
+			continue
+		}
+		if rec.V == 0 && legacyKey(rec.Key) {
+			// A pre-versioning, pre-placement-engine record: its key
+			// predates the ";policy=" segment. Verify its content
+			// address as written, then rewrite the key to the modern
+			// form (those runs executed under the static policy, the
+			// only one that existed) and re-address it. Unverifiable
+			// legacy lines are corruption, same as any other segment.
+			sum, err := Sum(rec.Key, rec.Spec, rec.Result)
+			if err != nil || sum != rec.Sum {
+				s.dropped++
+				clean = false
+				continue
+			}
+			rec.Key = strings.Replace(rec.Key, ";app=", ";policy=static;app=", 1)
+			if rec.Sum, err = Sum(rec.Key, rec.Spec, rec.Result); err != nil {
+				s.dropped++
+				clean = false
+				continue
+			}
+			rec.V = RecordVersion
+			s.migrated++
+			s.index[rec.Key] = rec
+			continue
+		}
 		sum, err := Sum(rec.Key, rec.Spec, rec.Result)
 		if err != nil || sum != rec.Sum || rec.Key == "" {
 			s.dropped++
 			clean = false
 			continue
 		}
+		// Records that verify are current content under any version up
+		// to ours; stamp so Compact rewrites them at RecordVersion.
+		rec.V = RecordVersion
 		s.index[rec.Key] = rec
 	}
 	return clean, nil
+}
+
+// legacyKey recognizes a pre-placement-engine canonical key: the
+// platform key format, but without the ";policy=" segment the engine
+// added.
+func legacyKey(key string) bool {
+	return strings.HasPrefix(key, "mode=") &&
+		strings.Contains(key, ";app=") &&
+		!strings.Contains(key, ";policy=")
 }
 
 // Dir returns the store's root directory.
@@ -292,7 +375,7 @@ func (s *Store) Put(key string, spec core.RunSpec, res core.Result) error {
 	if err != nil {
 		return err
 	}
-	rec := Record{Key: key, Sum: sum, Spec: spec, Result: res}
+	rec := Record{V: RecordVersion, Key: key, Sum: sum, Spec: spec, Result: res}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: encoding record: %w", err)
@@ -344,10 +427,12 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
-		Records:  len(s.index),
-		Segments: len(s.segments),
-		Appends:  s.appends,
-		Dropped:  s.dropped,
+		Records:        len(s.index),
+		Segments:       len(s.segments),
+		Appends:        s.appends,
+		Dropped:        s.dropped,
+		Migrated:       s.migrated,
+		SkippedVersion: s.skippedV,
 	}
 	for _, p := range s.segments {
 		if fi, err := os.Stat(p); err == nil {
@@ -387,6 +472,14 @@ func (s *Store) Compact() error {
 			tmp.Close()
 			return fmt.Errorf("store: encoding record: %w", err)
 		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	// Newer-version records ride along verbatim: this build cannot read
+	// them, so it must not lose them either.
+	for _, line := range s.skippedLines {
 		if _, err := w.Write(append(line, '\n')); err != nil {
 			tmp.Close()
 			return fmt.Errorf("store: %w", err)

@@ -332,14 +332,14 @@ func TestConcurrentPutGet(t *testing.T) {
 // format deliberately and regenerate testdata/record_golden.jsonl with
 // -update.
 func TestRecordGolden(t *testing.T) {
-	key := "mode=emulation;seed=1;l3=0;nursery=0;obs=0;tsock=-1;mon=0;quantum=0;unmap=false;wear=false;boot=4;factory=scale:quick;app=pmd;gc=KG-W;n=2;ds=large;native=false"
+	key := "mode=emulation;seed=1;l3=0;nursery=0;obs=0;tsock=-1;mon=0;quantum=0;unmap=false;wear=false;boot=4;factory=scale:quick;policy=static;app=pmd;gc=KG-W;n=2;ds=large;native=false"
 	spec := sampleSpec("pmd")
 	res := sampleResult(1)
 	sum, err := Sum(key, spec, res)
 	if err != nil {
 		t.Fatal(err)
 	}
-	line, err := json.Marshal(Record{Key: key, Sum: sum, Spec: spec, Result: res})
+	line, err := json.Marshal(Record{V: RecordVersion, Key: key, Sum: sum, Spec: spec, Result: res})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,114 @@ func TestRecordGolden(t *testing.T) {
 	if err := json.Unmarshal(bytes.TrimSpace(want), &rec); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Key != key || rec.Sum != sum || !reflect.DeepEqual(rec.Result, res) {
+	if rec.V != RecordVersion || rec.Key != key || rec.Sum != sum || !reflect.DeepEqual(rec.Result, res) {
 		t.Error("golden record does not decode back to the original")
+	}
+}
+
+// legacyRecord is the pre-versioning segment-line schema: no "v" field,
+// and (for records older than the placement engine) no ";policy=" key
+// segment. The migration fixture is written in this shape.
+type legacyRecord struct {
+	Key    string       `json:"key"`
+	Sum    string       `json:"sum"`
+	Spec   core.RunSpec `json:"spec"`
+	Result core.Result  `json:"result"`
+}
+
+const legacyFixtureKey = "mode=emulation;seed=1;l3=0;nursery=0;obs=0;tsock=-1;mon=0;quantum=0;unmap=false;wear=false;boot=4;factory=scale:quick;app=pmd;gc=KG-W;n=2;ds=large;native=false"
+
+// migratedFixtureKey is legacyFixtureKey after replay rewrites it: the
+// runs predate the placement engine, so they ran under static.
+const migratedFixtureKey = "mode=emulation;seed=1;l3=0;nursery=0;obs=0;tsock=-1;mon=0;quantum=0;unmap=false;wear=false;boot=4;factory=scale:quick;policy=static;app=pmd;gc=KG-W;n=2;ds=large;native=false"
+
+// TestLegacyMigration opens a committed fixture segment holding a
+// pre-versioning record, a record from a future format version, and a
+// corrupt legacy line, and checks each takes its intended path:
+// migrate, skip, drop. Regenerate testdata/legacy_v0.jsonl with
+// -update; the legacy payload marshaling is unchanged since the
+// pre-versioning era, so the fixture's sum is exactly what that era's
+// code wrote.
+func TestLegacyMigration(t *testing.T) {
+	fixture := filepath.Join("testdata", "legacy_v0.jsonl")
+	if *update {
+		spec, res := sampleSpec("pmd"), sampleResult(7)
+		sum, err := Sum(legacyFixtureKey, spec, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		// 1: a valid legacy record (migrates).
+		enc.Encode(legacyRecord{Key: legacyFixtureKey, Sum: sum, Spec: spec, Result: res})
+		// 2: a future-version record (skips: its schema is unknowable
+		// here, but replay must not drop or rewrite it).
+		enc.Encode(Record{V: RecordVersion + 97, Key: "key-from-the-future", Sum: sum, Spec: spec, Result: res})
+		// 3: a corrupt legacy record (drops: its content address does
+		// not cover its payload, so it cannot be trusted enough to
+		// migrate).
+		enc.Encode(legacyRecord{Key: legacyFixtureKey, Sum: "beef" + sum[4:], Spec: spec, Result: sampleResult(8)})
+		if err := os.WriteFile(fixture, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Migrated != 1 || st.SkippedVersion != 1 || st.Dropped != 1 {
+		t.Fatalf("Migrated=%d SkippedVersion=%d Dropped=%d, want 1/1/1", st.Migrated, st.SkippedVersion, st.Dropped)
+	}
+	if _, ok := s.Get(legacyFixtureKey); ok {
+		t.Error("legacy key still resolvable after migration")
+	}
+	rec, ok := s.Get(migratedFixtureKey)
+	if !ok {
+		t.Fatal("migrated record missing under the modern key")
+	}
+	if rec.V != RecordVersion {
+		t.Errorf("migrated record V = %d, want %d", rec.V, RecordVersion)
+	}
+	if !reflect.DeepEqual(rec.Result, sampleResult(7)) {
+		t.Error("migrated record result not bit-identical")
+	}
+	wantSum, err := Sum(migratedFixtureKey, rec.Spec, rec.Result)
+	if err != nil || rec.Sum != wantSum {
+		t.Errorf("migrated record sum not re-addressed: got %q want %q (%v)", rec.Sum, wantSum, err)
+	}
+
+	// Compact persists the migration (nothing left to migrate or drop
+	// on reopen) while carrying the future-version record through
+	// verbatim — this build must not destroy data it cannot read.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st = r.Stats()
+	if st.Migrated != 0 || st.Dropped != 0 {
+		t.Errorf("after Compact+reopen: Migrated=%d Dropped=%d, want 0/0", st.Migrated, st.Dropped)
+	}
+	if st.SkippedVersion != 1 {
+		t.Errorf("after Compact+reopen: SkippedVersion = %d, want the future-version record preserved", st.SkippedVersion)
+	}
+	if _, ok := r.Get(migratedFixtureKey); !ok {
+		t.Error("migrated record lost across Compact+reopen")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fabric/jobs"
 	"repro/internal/jvm"
 	"repro/internal/policy"
 	"repro/internal/store"
@@ -318,9 +319,14 @@ func WithTrace(w io.Writer) Option { return func(c *config) { c.traceSink = w } 
 // platform configuration plus a result cache (and optional durable
 // store tier) shared with every platform derived from it via With.
 // All methods are safe for concurrent use.
+//
+// The run-scheduling core — canonical-keyed single-flight memoization
+// and the worker pool — lives in internal/fabric/jobs, the same layer
+// the clustered hybridserved fabric schedules on, so a Platform and a
+// fleet node coalesce identical work with identical semantics.
 type Platform struct {
 	cfg   config
-	cache *resultCache
+	cache *jobs.Group[Result]
 	disk  *storeTier // nil without WithStore
 }
 
@@ -330,7 +336,7 @@ func New(opts ...Option) *Platform {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	p := &Platform{cfg: cfg, cache: newResultCache()}
+	p := &Platform{cfg: cfg, cache: jobs.NewGroup[Result]()}
 	if cfg.storeDir != "" {
 		p.disk = &storeTier{dir: cfg.storeDir}
 	}
@@ -581,20 +587,9 @@ func (p *Platform) Peek(spec RunSpec) (Result, bool) {
 		return Result{}, false
 	}
 	key := p.key(spec)
-	c := p.cache
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		select {
-		case <-e.done:
-			if e.err == nil {
-				c.hits++
-				c.mu.Unlock()
-				return e.res, true
-			}
-		default: // in flight; Peek never waits
-		}
+	if res, ok := p.cache.Peek(key.canonical()); ok {
+		return res, true
 	}
-	c.mu.Unlock()
 	if p.disk != nil && durableKey(key) {
 		if s, err := p.disk.open(); err == nil {
 			if rec, ok := s.Get(key.canonical()); ok {
@@ -618,33 +613,7 @@ func (p *Platform) Joinable(spec RunSpec) bool {
 	if p.validateSpec(spec) != nil {
 		return false
 	}
-	key := p.key(spec)
-	p.cache.mu.Lock()
-	_, ok := p.cache.entries[key]
-	p.cache.mu.Unlock()
-	return ok
-}
-
-// cacheEntry is one in-flight or completed run. done is closed once
-// res/err are final.
-type cacheEntry struct {
-	done chan struct{}
-	res  Result
-	err  error
-}
-
-// resultCache memoizes completed runs and deduplicates concurrent
-// identical runs (single-flight): the first caller computes, everyone
-// else waits on the entry.
-type resultCache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
-	hits    uint64
-	misses  uint64
-}
-
-func newResultCache() *resultCache {
-	return &resultCache{entries: map[cacheKey]*cacheEntry{}}
+	return p.cache.Joinable(p.key(spec).canonical())
 }
 
 // CacheStats reports the shared result cache's behaviour. Hits count
@@ -670,9 +639,8 @@ type CacheStats struct {
 // CacheStats returns a snapshot of the platform's shared result cache
 // and store tier.
 func (p *Platform) CacheStats() CacheStats {
-	p.cache.mu.Lock()
-	st := CacheStats{Hits: p.cache.hits, Misses: p.cache.misses, Entries: len(p.cache.entries)}
-	p.cache.mu.Unlock()
+	gs := p.cache.Stats()
+	st := CacheStats{Hits: gs.Hits, Misses: gs.Misses, Entries: gs.Entries}
 	if p.disk != nil {
 		st.DiskHits = p.disk.hits.Load()
 		st.DiskMisses = p.disk.misses.Load()
@@ -686,17 +654,26 @@ func (p *Platform) CacheStats() CacheStats {
 // returns ctx.Err if the context is cancelled before the result is
 // available.
 func (p *Platform) Run(ctx context.Context, spec RunSpec) (Result, error) {
+	res, _, err := p.RunShared(ctx, spec)
+	return res, err
+}
+
+// RunShared is Run with its sharing made visible: computed reports
+// whether this call ran the engine (or restored from the durable store)
+// itself, as opposed to joining an in-flight identical run or reusing a
+// memoized result. Admission layers (internal/serve) use it to count
+// coalesced work exactly — for N concurrent identical requests, exactly
+// one observes computed regardless of how the race between them
+// resolves. Traced runs always compute.
+func (p *Platform) RunShared(ctx context.Context, spec RunSpec) (res Result, computed bool, err error) {
 	spec = normalizeSpec(spec)
 	if err := p.validateSpec(spec); err != nil {
-		return Result{}, err
-	}
-	// Bail before registering: entries must only ever complete with a
-	// genuine run outcome, never one caller's cancellation — waiters
-	// with live contexts share them.
-	if err := ctx.Err(); err != nil {
-		return Result{}, err
+		return Result{}, false, err
 	}
 	if p.cfg.traceSink != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, false, err
+		}
 		// A traced run must actually run — a Result served from the
 		// cache or the store has no quanta to record — so it bypasses
 		// both tiers in both directions and computes unconditionally.
@@ -705,74 +682,35 @@ func (p *Platform) Run(ctx context.Context, spec RunSpec) (Result, error) {
 		opts.TraceKey = p.key(spec).canonical()
 		res, err := core.Run(opts, spec)
 		if err != nil {
-			return Result{}, fmt.Errorf("hybridmem: %s: %w", specLabel(spec), err)
+			return Result{}, false, fmt.Errorf("hybridmem: %s: %w", specLabel(spec), err)
 		}
-		return res, nil
+		return res, true, nil
 	}
 	key := p.key(spec)
 
-	c := p.cache
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		select {
-		case <-e.done:
-			return e.res, e.err
-		case <-ctx.Done():
-			return Result{}, ctx.Err()
+	// The single-flight group deduplicates concurrent identical runs
+	// and memoizes completed ones; the compute closure layers the
+	// durable tier (memory miss → disk → engine, write-through on
+	// compute). The engine panics on platform-construction failures —
+	// the group retires the entry and releases any waiters before the
+	// panic propagates.
+	res, computed, err = p.cache.Do(ctx, key.canonical(), func(ctx context.Context) (Result, error) {
+		if res, ok, derr := p.diskGet(key); derr != nil {
+			return Result{}, fmt.Errorf("hybridmem: %s: %w", specLabel(spec), derr)
+		} else if ok {
+			return res, nil
 		}
-	}
-	e := &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.misses++
-	c.mu.Unlock()
-
-	finished := false
-	defer func() {
-		// The engine panics on platform-construction failures; if one
-		// unwinds through here, unregister the entry and release the
-		// waiters before propagating, or they would block forever.
-		if !finished {
-			c.mu.Lock()
-			delete(c.entries, key)
-			c.mu.Unlock()
-			e.err = fmt.Errorf("hybridmem: %s: run panicked", specLabel(spec))
-			close(e.done)
+		res, err := core.Run(p.coreOptions(), spec)
+		if err != nil {
+			// Failed runs are not memoized; a later call retries. The
+			// spec label identifies the failing experiment inside wide
+			// batches.
+			return Result{}, fmt.Errorf("hybridmem: %s: %w", specLabel(spec), err)
 		}
-	}()
-
-	// Second tier: a durable store restores the run without
-	// recomputing. Disk hits are memoized in memory like computes.
-	if res, ok, derr := p.diskGet(key); derr != nil {
-		finished = true
-		e.err = fmt.Errorf("hybridmem: %s: %w", specLabel(spec), derr)
-		c.mu.Lock()
-		delete(c.entries, key)
-		c.mu.Unlock()
-		close(e.done)
-		return Result{}, e.err
-	} else if ok {
-		finished = true
-		e.res = res
-		close(e.done)
-		return e.res, nil
-	}
-
-	e.res, e.err = core.Run(p.coreOptions(), spec)
-	finished = true
-	if e.err != nil {
-		// Failed runs are not memoized; a later call retries. The spec
-		// label identifies the failing experiment inside wide batches.
-		e.err = fmt.Errorf("hybridmem: %s: %w", specLabel(spec), e.err)
-		c.mu.Lock()
-		delete(c.entries, key)
-		c.mu.Unlock()
-	} else {
-		p.diskPut(key, spec, e.res)
-	}
-	close(e.done)
-	return e.res, e.err
+		p.diskPut(key, spec, res)
+		return res, nil
+	})
+	return res, computed, err
 }
 
 // durableKey reports whether a key is stable across processes and may
@@ -851,50 +789,15 @@ func (p *Platform) RunBatch(ctx context.Context, specs ...RunSpec) ([]Result, er
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	queue := make(chan int, len(specs))
-	for i := range specs {
-		queue <- i
-	}
-	close(queue)
-
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range queue {
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					continue // drain without running
-				}
-				res, err := p.Run(ctx, specs[i])
-				if err != nil {
-					fail(err)
-					continue
-				}
-				results[i] = res
-			}
-		}()
-	}
-	wg.Wait()
-	return results, firstErr
+	err := jobs.Pool(ctx, workers, len(specs), func(ctx context.Context, i int) error {
+		res, err := p.Run(ctx, specs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
 }
 
 // scaledFactory builds the application factory for a scale: GraphChi

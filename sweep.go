@@ -1,6 +1,11 @@
 package hybridmem
 
-import "context"
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/fabric/jobs"
+)
 
 // Sweep declaratively enumerates an experiment grid — apps ×
 // collectors × instance counts × datasets — in a deterministic order
@@ -160,19 +165,32 @@ func (s *Sweep) Specs() []RunSpec {
 // dimension the grid runs once per policy configuration on a derived
 // platform and the results concatenate configuration-major:
 // Results[c*len(Specs())+i] is Specs()[i] under Configs()[c].
+//
+// The whole (configuration x spec) grid runs through one flat worker
+// pool rather than a serial pass per configuration, so a narrow spec
+// grid under many configurations still keeps every worker busy.
 func (p *Platform) RunSweep(ctx context.Context, sweep *Sweep) ([]Result, error) {
 	specs := sweep.Specs()
 	cfgs := sweep.Configs()
 	if len(cfgs) == 0 {
 		return p.RunBatch(ctx, specs...)
 	}
-	results := make([]Result, 0, len(cfgs)*len(specs))
-	for _, cfg := range cfgs {
-		batch, err := p.With(WithPolicyConfig(cfg)).RunBatch(ctx, specs...)
-		if err != nil {
-			return results, err
-		}
-		results = append(results, batch...)
+	platforms := make([]*Platform, len(cfgs))
+	for c, cfg := range cfgs {
+		platforms[c] = p.With(WithPolicyConfig(cfg))
 	}
-	return results, nil
+	results := make([]Result, len(cfgs)*len(specs))
+	workers := p.cfg.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	err := jobs.Pool(ctx, workers, len(results), func(ctx context.Context, i int) error {
+		res, err := platforms[i/len(specs)].Run(ctx, specs[i%len(specs)])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	return results, err
 }
