@@ -10,12 +10,14 @@
 //	             [-seed N] [-policy NAME] [-max-inflight N]
 //	             [-max-queued N] [-drain 30s]
 //	             [-node URL -peers URL,URL,...]
+//	             [-log-format text|json] [-spans FILE]
+//	             [-debug-addr 127.0.0.1:6060]
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (streams ndjson),
-// GET /v1/results, GET /v1/policies, GET /healthz, GET /v1/healthz,
-// GET /metrics. SIGTERM (or Ctrl-C) drains in-flight requests before
-// exiting. -policy sets the default placement policy; requests
-// override it per run or sweep.
+// GET /v1/results, GET /v1/policies, GET /v1/spans, GET /healthz,
+// GET /v1/healthz, GET /metrics. SIGTERM (or Ctrl-C) drains in-flight
+// requests before exiting. -policy sets the default placement policy;
+// requests override it per run or sweep.
 //
 // With -node and -peers the server joins a sharded fabric: -node is
 // this node's own base URL (its identity on the consistent-hash ring)
@@ -24,6 +26,13 @@
 // unreachable peer degrades to local execution. Every node must run
 // the same -scale, -seed, and -policy, or the fleet's canonical keys
 // disagree and nothing is shared.
+//
+// Observability: logs go to stderr as structured slog records
+// (-log-format json for machine ingestion), every finished
+// run-lifecycle span appends to the -spans ndjson file (and is always
+// queryable from GET /v1/spans), and -debug-addr exposes net/http/pprof
+// on a second listener — keep it on loopback or behind a firewall, it
+// is unauthenticated by design. See docs/observability.md.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,6 +49,7 @@ import (
 
 	hybridmem "repro"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -53,6 +64,9 @@ func main() {
 	node := flag.String("node", "", "this node's base URL on the fabric ring (e.g. http://10.0.0.1:8080)")
 	peers := flag.String("peers", "", "comma-separated base URLs of the full fleet, identical on every node")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	spansPath := flag.String("spans", "", "append finished run-lifecycle spans to this ndjson file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; keep it private)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -93,20 +107,58 @@ func main() {
 		fail(fmt.Errorf("-node requires -peers (the full fleet membership)"))
 	}
 
-	srv, err := serve.New(p, serve.Config{MaxInFlight: *maxInflight, MaxQueued: *maxQueued, Fabric: fab})
+	nodeName := "local"
+	if fab != nil {
+		nodeName = fab.Self()
+	}
+	log, err := obs.NewLogger(os.Stderr, *logFormat, nodeName)
 	if err != nil {
 		fail(err)
+	}
+
+	var spanSink *os.File
+	if *spansPath != "" {
+		spanSink, err = os.OpenFile(*spansPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(fmt.Errorf("opening -spans file: %w", err))
+		}
+	}
+
+	cfg := serve.Config{MaxInFlight: *maxInflight, MaxQueued: *maxQueued, Fabric: fab, Logger: log}
+	if spanSink != nil {
+		cfg.SpanSink = spanSink
+	}
+	srv, err := serve.New(p, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener so the profiling
+		// surface never shares a port with the public API.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Error("pprof server failed", "addr", *debugAddr, "err", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
 	go func() {
 		if fab != nil {
-			fmt.Printf("hybridserved: listening on %s as %s (scale=%s, seed=%d, store=%q, ring=%v)\n",
-				*addr, fab.Self(), sc, *seed, *storeDir, fab.Members())
+			log.Info("listening", "addr", *addr, "scale", sc.String(), "seed", *seed,
+				"store", *storeDir, "ring", fmt.Sprintf("%v", fab.Members()))
 		} else {
-			fmt.Printf("hybridserved: listening on %s (scale=%s, seed=%d, store=%q)\n",
-				*addr, sc, *seed, *storeDir)
+			log.Info("listening", "addr", *addr, "scale", sc.String(), "seed", *seed,
+				"store", *storeDir)
 		}
 		errCh <- httpSrv.ListenAndServe()
 	}()
@@ -121,16 +173,21 @@ func main() {
 
 	// Drain: stop accepting, let in-flight requests finish, then make
 	// sure everything computed so far is on stable storage.
-	fmt.Println("hybridserved: draining...")
+	log.Info("draining", "timeout", drain.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "hybridserved: shutdown: %v\n", err)
+		log.Error("shutdown", "err", err)
 	}
 	if st, err := p.Store(); err == nil && st != nil {
 		if err := st.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "hybridserved: closing store: %v\n", err)
+			log.Error("closing store", "err", err)
 		}
 	}
-	fmt.Println("hybridserved: bye")
+	if spanSink != nil {
+		if err := spanSink.Close(); err != nil {
+			log.Error("closing spans file", "err", err)
+		}
+	}
+	log.Info("bye")
 }

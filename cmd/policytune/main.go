@@ -9,6 +9,7 @@
 //	policytune -trace run.ndjson [-policy write-threshold]
 //	           [-hot 64,128,256] [-cold 0,8] [-budget 16384,32768]
 //	           [-wear 1.5,2,3] [-ndjson frontier.ndjson]
+//	           [-log-format text|json]
 //
 // Record traces with `hybridemu -trace out.ndjson ...` or stream them
 // from hybridserved (`GET /v1/trace?...`); "-" reads the trace from
@@ -45,6 +46,7 @@ import (
 	"strings"
 
 	hybridmem "repro"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -64,12 +66,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	budget := fs.String("budget", "", "comma-separated DRAMBudgetPages grid values")
 	wear := fs.String("wear", "", "comma-separated WearFactor grid values")
 	ndjsonPath := fs.String("ndjson", "", "also write the frontier as ndjson to this file (- for stdout)")
+	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	fail := func(err error) int {
+	// Diagnostics are structured logs on stderr; the table and ndjson
+	// frontier on stdout stay plain — they are data, not logs.
+	log, err := obs.NewLogger(stderr, *logFormat, "")
+	if err != nil {
 		fmt.Fprintf(stderr, "policytune: %v\n", err)
+		return 2
+	}
+
+	fail := func(err error) int {
+		log.Error("invalid invocation", "err", err)
 		return 2
 	}
 
@@ -122,7 +133,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	rep, runErr := hybridmem.Autotune(context.Background(), bytes.NewReader(data), grid)
 	if runErr != nil && !errors.Is(runErr, hybridmem.ErrTraceCorrupt) {
-		fmt.Fprintf(stderr, "policytune: %v\n", runErr)
+		log.Error("grid search failed", "err", runErr)
 		return 1
 	}
 
@@ -155,18 +166,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if *ndjsonPath != "-" {
 			f, err = os.Create(*ndjsonPath)
 			if err != nil {
-				fmt.Fprintf(stderr, "policytune: %v\n", err)
+				log.Error("creating ndjson file", "path", *ndjsonPath, "err", err)
 				return 1
 			}
 			out = f
 		}
 		if err := writeNDJSON(out, rep.Frontier); err != nil {
-			fmt.Fprintf(stderr, "policytune: writing ndjson: %v\n", err)
+			log.Error("writing ndjson", "err", err)
 			return 1
 		}
 		if f != nil {
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(stderr, "policytune: closing ndjson: %v\n", err)
+				log.Error("closing ndjson", "err", err)
 				return 1
 			}
 		}
@@ -174,7 +185,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	if runErr != nil {
 		// Corrupt tail: the frontier above covers the valid prefix.
-		fmt.Fprintf(stderr, "policytune: %v\n", runErr)
+		log.Error("trace truncated", "err", runErr)
 		return 1
 	}
 	return 0

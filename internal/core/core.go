@@ -19,11 +19,14 @@ package core
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"time"
 
 	"repro/internal/jvm"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/pcmmon"
 	"repro/internal/policy"
 	"repro/internal/trace"
@@ -102,6 +105,14 @@ type Options struct {
 	// EdgeOverride shrinks GraphChi datasets for tests (0 = paper
 	// scale). It is applied via the registry's test hooks.
 	AppFactory func(name string) workloads.App
+	// Obs, when non-nil, records the run's span tree (emulate →
+	// plan/execute → one policy.quantum span per safepoint) and latency
+	// histograms. Strictly side-channel: the Result is bit-identical
+	// with or without it.
+	Obs *obs.Telemetry
+	// ObsParent parents the run's root span, linking it into the
+	// caller's distributed trace (zero value: a fresh trace).
+	ObsParent obs.SpanContext
 }
 
 // DefaultOptions returns the emulation pipeline defaults.
@@ -258,6 +269,28 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 		return Result{}, fmt.Errorf("core: unknown application %q", spec.AppName)
 	}
 
+	// Telemetry is a side-channel: spans and histograms observe the
+	// run's wall clock, never the emulated clock, and nothing below
+	// reads them back. All obs calls are nil-safe, so an
+	// uninstrumented run pays nil checks only.
+	tel := opts.Obs
+	var tracer *obs.Tracer
+	if tel != nil {
+		tracer = tel.Tracer
+	}
+	runStart := time.Now()
+	runSp := tracer.StartSpan(opts.ObsParent, "emulate")
+	defer runSp.End()
+	runSp.SetAttr("app", spec.AppName)
+	runSp.SetAttr("instances", strconv.Itoa(spec.Instances))
+	runSp.SetAttr("mode", opts.Mode.String())
+	runSp.SetAttr("policy", opts.Policy.Kind.String())
+	if spec.Native {
+		runSp.SetAttr("native", "true")
+	} else {
+		runSp.SetAttr("collector", spec.Collector.String())
+	}
+
 	m := machine.New(machineConfig(opts, spec.Native))
 	kCfg := kernelConfig(opts)
 	k := kernel.New(m, kCfg)
@@ -313,6 +346,7 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 
 	var procs []*kernel.Process
 	starts := make([]float64, spec.Instances)
+	planStart := time.Now()
 	for i := 0; i < spec.Instances; i++ {
 		i := i
 		app := probe
@@ -371,6 +405,29 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 		}
 		procs = append(procs, k.NewProcess(fmt.Sprintf("%s#%d", spec.AppName, i), socket, body))
 	}
+	if tracer != nil {
+		tracer.Emit(runSp.Context(), "plan", planStart, time.Since(planStart),
+			map[string]string{"instances": strconv.Itoa(spec.Instances)})
+	}
+
+	// The execute span covers the cooperative kernel run; per-safepoint
+	// policy.quantum spans parent to it, giving the trace one child per
+	// engine quantum without the view-gathering cost a Tap would force.
+	execSp := tracer.StartSpan(runSp.Context(), "execute")
+	if eng != nil && tel != nil {
+		qh := tel.Metrics.Histogram("hybridmem_policy_quantum_seconds",
+			"Wall-clock time of one policy-engine quantum (view build + decide + migrate).",
+			obs.Labels{"node": tel.Node}, nil)
+		eng.SetQuantumHook(func(proc string, quantum uint64, actions, moved int, stall float64, start time.Time, wall time.Duration) {
+			qh.Observe(wall.Seconds())
+			tracer.Emit(execSp.Context(), "policy.quantum", start, wall, map[string]string{
+				"proc":       proc,
+				"quantum":    strconv.FormatUint(quantum, 10),
+				"actions":    strconv.Itoa(actions),
+				"pagesMoved": strconv.Itoa(moved),
+			})
+		})
+	}
 
 	rc := kernel.RunConfig{
 		QuantumCycles:  opts.QuantumCycles,
@@ -383,9 +440,25 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 		},
 	}
 	if err := k.Run(procs, rc); err != nil {
+		execSp.End()
 		return Result{}, err
 	}
 	mon.StopMeasurement(monNow(procs))
+	if tel != nil {
+		if !spec.Native {
+			gcs := 0
+			for _, st := range res.RuntimeStats {
+				gcs += st.MinorGCs + st.FullGCs
+			}
+			execSp.SetAttr("gcs", strconv.Itoa(gcs))
+		}
+		if eng != nil {
+			es := eng.Stats()
+			execSp.SetAttr("quanta", strconv.FormatUint(es.Quanta, 10))
+			execSp.SetAttr("pagesMigrated", strconv.FormatUint(es.PagesMigrated, 10))
+		}
+		execSp.End()
+	}
 
 	rep := mon.Report()
 	res.DRAMWriteLines = rep.WriteLines[0]
@@ -418,6 +491,13 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 		if err := rec.Err(); err != nil {
 			return Result{}, err
 		}
+	}
+	if tel != nil {
+		runSp.SetAttr("emulatedSeconds", strconv.FormatFloat(res.Seconds, 'g', -1, 64))
+		runSp.SetAttr("pagesMigrated", strconv.FormatUint(res.PagesMigrated, 10))
+		tel.Metrics.Histogram("hybridmem_emulate_seconds",
+			"Wall-clock time of one emulator run (all instances, measured iteration included).",
+			obs.Labels{"node": tel.Node}, nil).Observe(time.Since(runStart).Seconds())
 	}
 	return res, nil
 }

@@ -35,6 +35,8 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ForwardHeader marks a forwarded request with the origin node's name.
@@ -91,6 +93,11 @@ func (t *HTTPTransport) ForwardRun(ctx context.Context, node string, body []byte
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardHeader, t.Origin)
+	// Propagate the caller's span so the peer's execution joins the
+	// same distributed trace.
+	if sc := obs.SpanContextFrom(ctx); sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
 	resp, err := c.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: forward to %s: %w", node, err)
@@ -175,6 +182,24 @@ type Fabric struct {
 	ring  *Ring
 	tr    Transport
 	retry RetryConfig
+
+	rtt     *obs.Histogram // per-attempt forward round-trip time
+	sendErr *obs.Counter   // transport-level forward failures
+}
+
+// Instrument attaches telemetry: a round-trip-time histogram observed
+// for every forward attempt that got an HTTP response, and a counter
+// of transport-level failures (the retryable case). Call before
+// serving traffic; nil telemetry is a no-op.
+func (f *Fabric) Instrument(tel *obs.Telemetry) {
+	if tel == nil {
+		return
+	}
+	lbl := obs.Labels{"node": tel.Node}
+	f.rtt = tel.Metrics.Histogram("fabric_forward_rtt_seconds",
+		"Round-trip time of forwarded run requests, per attempt that reached the peer.", lbl, nil)
+	f.sendErr = tel.Metrics.Counter("fabric_forward_errors_total",
+		"Forward attempts that failed at the transport layer (peer unreachable).", lbl)
 }
 
 // New builds a node's Fabric from its static configuration.
@@ -216,10 +241,13 @@ func (f *Fabric) Forward(ctx context.Context, node string, body []byte) (*Respon
 				return nil, ctx.Err()
 			}
 		}
+		t0 := time.Now()
 		resp, err := f.tr.ForwardRun(ctx, node, body)
 		if err == nil {
+			f.rtt.Observe(time.Since(t0).Seconds())
 			return resp, nil
 		}
+		f.sendErr.Inc()
 		lastErr = err
 		if ctx.Err() != nil {
 			// The caller is gone; retrying on its behalf is pointless.

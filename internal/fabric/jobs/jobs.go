@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrOverloaded reports work rejected by an Admission controller: every
@@ -177,11 +178,23 @@ func (g *Group[R]) Joinable(key string) bool {
 type Admission struct {
 	slots     chan struct{}
 	maxQueued int
+	waitObs   DurationObserver
 
 	mu       sync.Mutex
 	queued   int
 	rejected atomic.Uint64
 }
+
+// DurationObserver receives elapsed-seconds observations. It is the
+// narrow seam through which telemetry histograms attach without this
+// package importing them.
+type DurationObserver interface{ Observe(seconds float64) }
+
+// SetWaitObserver installs an observer for time spent waiting in the
+// admission queue (the fast, uncontended path is never observed — it
+// does not wait). Install before serving traffic; the field is not
+// synchronized against concurrent Acquires.
+func (a *Admission) SetWaitObserver(o DurationObserver) { a.waitObs = o }
 
 // NewAdmission builds an Admission with maxInFlight concurrent slots
 // and a wait queue of maxQueued. Both must be at least 1 and 0
@@ -221,8 +234,15 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 		a.queued--
 		a.mu.Unlock()
 	}()
+	var t0 time.Time
+	if a.waitObs != nil {
+		t0 = time.Now()
+	}
 	select {
 	case a.slots <- struct{}{}:
+		if a.waitObs != nil {
+			a.waitObs.Observe(time.Since(t0).Seconds())
+		}
 		return release, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a structured logger writing to w in the given
+// format ("text", "json", or "" for text) with the node stamped onto
+// every record. An unknown format is an error so commands can fail
+// fast on a bad -log-format flag.
+func NewLogger(w io.Writer, format, node string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	l := slog.New(h)
+	if node != "" {
+		l = l.With("node", node)
+	}
+	return l, nil
+}

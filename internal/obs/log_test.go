@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var txt strings.Builder
+	l, err := NewLogger(&txt, "text", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", "v")
+	if !strings.Contains(txt.String(), "msg=hello") || !strings.Contains(txt.String(), "node=n1") {
+		t.Fatalf("text output missing fields: %q", txt.String())
+	}
+
+	var js strings.Builder
+	l, err = NewLogger(&js, "json", "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(js.String()), &rec); err != nil {
+		t.Fatalf("json output not json: %q: %v", js.String(), err)
+	}
+	if rec["msg"] != "hello" || rec["node"] != "n2" || rec["k"] != "v" {
+		t.Fatalf("json fields wrong: %v", rec)
+	}
+
+	if _, err := NewLogger(&js, "xml", ""); err == nil {
+		t.Fatal("unknown format should error")
+	}
+	if _, err := NewLogger(&js, "", ""); err != nil {
+		t.Fatalf("empty format should default to text: %v", err)
+	}
+}

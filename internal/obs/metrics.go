@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels name a metric series within its family. Values are escaped at
+// exposition time; callers pass them raw.
+type Labels map[string]string
+
+// DefBuckets are the default latency buckets, in seconds. They span
+// cache hits (tens of microseconds) through full-scale emulations
+// (minutes), which is the dynamic range of a single /v1/run.
+var DefBuckets = []float64{
+	0.00001, 0.0001, 0.001, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format (version 0.0.4). All methods are safe for
+// concurrent use and safe on a nil receiver: a nil registry hands out
+// nil metrics, whose mutation methods are no-ops, so uninstrumented
+// code paths cost one nil check.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+type series interface {
+	write(w io.Writer, name, labels string)
+}
+
+type family struct {
+	help, typ string
+	series    map[string]series // keyed by rendered label string
+}
+
+// Counter is a monotonically increasing float64. The zero value is not
+// usable; obtain counters from a Registry.
+type Counter struct{ v atomicFloat }
+
+// Add increments the counter. Negative deltas are dropped. No-op on a
+// nil receiver.
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.v.add(d)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.load()
+}
+
+func (c *Counter) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, wrapLabels(labels), fmtFloat(c.v.load()))
+}
+
+// Gauge is a value that can go up and down. No-ops on a nil receiver.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.store(v)
+}
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(d)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+func (g *Gauge) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, wrapLabels(labels), fmtFloat(g.v.load()))
+}
+
+// funcSeries reads its value from a callback at scrape time. It backs
+// CounterFunc/GaugeFunc, which let the serving layer expose values it
+// already tracks in its own atomics without double bookkeeping.
+type funcSeries struct{ fn func() float64 }
+
+func (s *funcSeries) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, wrapLabels(labels), fmtFloat(s.fn()))
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (typically latencies in seconds). Observations are lock-free.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomicFloat
+}
+
+// Observe records one value. No-op on a nil receiver; NaN is dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v's bucket
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+func (h *Histogram) write(w io.Writer, name, labels string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, fmtFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, wrapLabels(labels), fmtFloat(h.sum.load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, wrapLabels(labels), cum)
+}
+
+// Counter registers (or finds) a counter series. Registering the same
+// name+labels twice returns the existing counter; re-registering a
+// name with a different metric kind panics (a programming error).
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, "counter", labels, func() series { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, "gauge", labels, func() series { return &Gauge{} }).(*Gauge)
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time. The first registration for a given name+labels wins.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.getOrCreate(name, help, "counter", labels, func() series { return &funcSeries{fn: fn} })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.getOrCreate(name, help, "gauge", labels, func() series { return &funcSeries{fn: fn} })
+}
+
+// Histogram registers (or finds) a histogram series. A nil buckets
+// slice selects DefBuckets; bounds must be strictly increasing.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	mk := func() series {
+		bounds := make([]float64, len(buckets))
+		copy(bounds, buckets)
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %s buckets not strictly increasing", name))
+			}
+		}
+		return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	}
+	return r.getOrCreate(name, help, "histogram", labels, mk).(*Histogram)
+}
+
+func (r *Registry) getOrCreate(name, help, typ string, labels Labels, mk func() series) series {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.fams[name]
+	if fam == nil {
+		fam = &family{help: help, typ: typ, series: make(map[string]series)}
+		r.fams[name] = fam
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, fam.typ, typ))
+	}
+	if s, ok := fam.series[key]; ok {
+		return s
+	}
+	s := mk()
+	fam.series[key] = s
+	return s
+}
+
+// WritePrometheus renders every family in the text exposition format:
+// families sorted by name, one HELP/TYPE header each, series sorted by
+// label string. Callers set the Content-Type
+// "text/plain; version=0.0.4; charset=utf-8".
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := r.fams[n]
+		fmt.Fprintf(w, "# HELP %s %s\n", n, escapeHelp(fam.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", n, fam.typ)
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fam.series[k].write(w, n, k)
+		}
+	}
+}
+
+// atomicFloat is a float64 with atomic add/store via bit-casting.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(d float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// renderLabels produces the canonical sorted `k="v",...` form (without
+// braces) used both as the series map key and at exposition.
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func wrapLabels(ls string) string {
+	if ls == "" {
+		return ""
+	}
+	return "{" + ls + "}"
+}
+
+func bucketLabels(ls, le string) string {
+	if ls == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + ls + `,le="` + le + `"}`
+}
+
+// fmtFloat renders values the way the existing /metrics consumers (and
+// tests) expect: integers without a decimal point, everything else in
+// shortest-roundtrip form.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.", Labels{"node": "a"})
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("queue_depth", "Queued requests.", Labels{"node": "a"})
+	g.Set(7)
+	g.Add(-2)
+	r.GaugeFunc("up", "Always one.", nil, func() float64 { return 1 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total Requests served.\n",
+		"# TYPE requests_total counter\n",
+		"requests_total{node=\"a\"} 4\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth{node=\"a\"} 5\n",
+		"up 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if c.Value() != 4 || g.Value() != 5 {
+		t.Fatalf("Value: counter=%v gauge=%v", c.Value(), g.Value())
+	}
+}
+
+func TestCounterDropsNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "x", nil)
+	c.Add(2)
+	c.Add(-5)
+	if c.Value() != 2 {
+		t.Fatalf("negative Add not dropped: %v", c.Value())
+	}
+}
+
+func TestSameSeriesReused(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "dup", Labels{"node": "x"})
+	b := r.Counter("dup_total", "dup", Labels{"node": "x"})
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	other := r.Counter("dup_total", "dup", Labels{"node": "y"})
+	if other == a {
+		t.Fatal("different labels should be a distinct series")
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if n := strings.Count(sb.String(), "# TYPE dup_total"); n != 1 {
+		t.Fatalf("want one TYPE line for the family, got %d", n)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "m", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter should panic")
+		}
+	}()
+	r.Gauge("m", "m", nil)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", Labels{"node": "a"}, []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{node="a",le="0.01"} 1`,
+		`lat_seconds_bucket{node="a",le="0.1"} 3`,
+		`lat_seconds_bucket{node="a",le="1"} 4`,
+		`lat_seconds_bucket{node="a",le="+Inf"} 5`,
+		`lat_seconds_count{node="a"} 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be monotonically non-decreasing.
+	var prev uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not monotone at %q", line)
+		}
+		prev = n
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "b", nil, []float64{1, 2})
+	h.Observe(1) // le="1" means v <= 1
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `b_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("observation at boundary not counted in its bucket:\n%s", sb.String())
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "a", nil).Add(1)
+	r.Counter("a", "a", nil).Inc()
+	r.Gauge("b", "b", nil).Set(2)
+	r.Gauge("b", "b", nil).Add(1)
+	r.Histogram("c", "c", nil, nil).Observe(3)
+	r.CounterFunc("d", "d", nil, func() float64 { return 0 })
+	r.GaugeFunc("e", "e", nil, func() float64 { return 0 })
+	r.WritePrometheus(&strings.Builder{})
+	RegisterGoRuntime(r, nil)
+	if r.Counter("a", "a", nil).Value() != 0 || r.Histogram("c", "c", nil, nil).Count() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "esc", Labels{"k": "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("labels not escaped:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "cc", nil)
+	h := r.Histogram("ch_seconds", "ch", nil, []float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestGoRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoRuntime(r, Labels{"node": "n1"})
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`go_goroutines{node="n1"}`,
+		`go_heap_alloc_bytes{node="n1"}`,
+		"# TYPE go_gc_pause_seconds_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package obs is the platform's telemetry subsystem: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms exposed
+// in the Prometheus text format), run-lifecycle spans with W3C
+// traceparent propagation (so one distributed trace covers a run as it
+// crosses the fabric), and log/slog construction helpers shared by the
+// daemonish commands.
+//
+// Telemetry is strictly side-channel: nothing in this package feeds
+// back into the emulation model, so an instrumented run produces a
+// Result bit-identical to an uninstrumented one. Every type is nil-safe
+// on its hot-path methods — a nil *Registry hands out nil metrics, and
+// Add/Set/Observe/SetAttr/End on nil receivers are no-ops — so
+// uninstrumented callers pay a single nil check, never an allocation.
+//
+// The pieces compose through Telemetry, the bundle the serving layer
+// builds once per node and threads down: internal/serve labels every
+// series and span with the node, internal/fabric times forward RTTs
+// and stamps the traceparent header onto forwarded requests,
+// internal/store reports append/replay latencies, and internal/core
+// emits the per-run span tree (emulate → plan/execute → one span per
+// policy quantum).
+package obs
+
+import "log/slog"
+
+// Telemetry bundles one node's observability surfaces. Fields may be
+// nil individually: consumers must tolerate a nil Metrics or Tracer
+// (both are nil-safe), and a nil *Telemetry means "uninstrumented".
+type Telemetry struct {
+	// Node labels every metric series and span this bundle's consumers
+	// emit, so a scraper aggregating a fleet can tell the nodes apart.
+	Node string
+	// Metrics is the node's metric registry.
+	Metrics *Registry
+	// Tracer records run-lifecycle spans.
+	Tracer *Tracer
+	// Logger is the node's structured logger (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// Log returns the bundle's logger, falling back to slog.Default. Safe
+// on a nil Telemetry.
+func (t *Telemetry) Log() *slog.Logger {
+	if t == nil || t.Logger == nil {
+		return slog.Default()
+	}
+	return t.Logger
+}

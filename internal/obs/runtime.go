@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterGoRuntime exposes Go runtime health — goroutines, heap, and
+// GC pause totals — on r. Memory stats are read at most every 250 ms
+// regardless of scrape rate, since ReadMemStats stops the world.
+func RegisterGoRuntime(r *Registry, labels Labels) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", labels,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	ms := &memStatsCache{}
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", labels,
+		func() float64 { return float64(ms.get().HeapAlloc) })
+	r.GaugeFunc("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", labels,
+		func() float64 { return float64(ms.get().HeapSys) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", labels,
+		func() float64 { return float64(ms.get().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", labels,
+		func() float64 { return float64(ms.get().PauseTotalNs) / 1e9 })
+}
+
+type memStatsCache struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.at) > 250*time.Millisecond {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+	}
+	return c.ms
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer("n1")
+	sp := tr.StartSpan(SpanContext{}, "root")
+	sc := sp.Context()
+	if !sc.Valid() {
+		t.Fatalf("fresh span context invalid: %+v", sc)
+	}
+	hdr := sc.Traceparent()
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("round trip %q -> %+v ok=%v, want %+v", hdr, got, ok, sc)
+	}
+}
+
+func TestParseTraceparentRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"00-abc-def-01",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase
+		"000af7651916cd43dd8448eb211c80319cb7ad6b716920333101",
+	} {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted garbage", s)
+		}
+	}
+	if _, ok := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"); !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+}
+
+func TestSpanParentage(t *testing.T) {
+	tr := NewTracer("n1")
+	ctx, root := tr.Start(context.Background(), "run")
+	_, child := tr.Start(ctx, "cache.lookup")
+	child.SetAttr("hit", "false")
+	child.End()
+	root.End()
+
+	recs := tr.Recent(0)
+	if len(recs) != 2 {
+		t.Fatalf("got %d spans, want 2", len(recs))
+	}
+	c, r := recs[0], recs[1] // oldest first: child ended first
+	if c.Name != "cache.lookup" || r.Name != "run" {
+		t.Fatalf("order: %q then %q", c.Name, r.Name)
+	}
+	if c.Trace != r.Trace {
+		t.Fatal("child not in parent's trace")
+	}
+	if c.Parent != r.Span {
+		t.Fatalf("child parent %q != root span %q", c.Parent, r.Span)
+	}
+	if r.Parent != "" {
+		t.Fatalf("root should have no parent, got %q", r.Parent)
+	}
+	if c.Attrs["hit"] != "false" {
+		t.Fatalf("attrs lost: %+v", c.Attrs)
+	}
+	if c.Node != "n1" {
+		t.Fatalf("node label lost: %q", c.Node)
+	}
+}
+
+func TestRemoteParentSeedsTrace(t *testing.T) {
+	tr := NewTracer("peer")
+	remote := SpanContext{TraceID: "0af7651916cd43dd8448eb211c80319c", SpanID: "b7ad6b7169203331"}
+	ctx := ContextWithRemote(context.Background(), remote)
+	_, sp := tr.Start(ctx, "run")
+	sp.End()
+	rec := tr.Recent(0)[0]
+	if rec.Trace != remote.TraceID || rec.Parent != remote.SpanID {
+		t.Fatalf("remote parent not honored: %+v", rec)
+	}
+}
+
+func TestEmit(t *testing.T) {
+	tr := NewTracer("n1")
+	parent := tr.StartSpan(SpanContext{}, "execute")
+	start := time.Now().Add(-time.Millisecond)
+	sc := tr.Emit(parent.Context(), "policy.quantum", start, time.Millisecond, map[string]string{"proc": "PR"})
+	if !sc.Valid() {
+		t.Fatal("Emit returned invalid context")
+	}
+	rec := tr.Recent(0)[0]
+	if rec.Name != "policy.quantum" || rec.Parent != parent.Context().SpanID || rec.DurNs != int64(time.Millisecond) {
+		t.Fatalf("emitted record wrong: %+v", rec)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer("n1", WithRingSize(4))
+	for i := 0; i < 10; i++ {
+		tr.Emit(SpanContext{}, "s"+string(rune('0'+i)), time.Now(), 0, nil)
+	}
+	recs := tr.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("ring kept %d, want 4", len(recs))
+	}
+	if recs[0].Name != "s6" || recs[3].Name != "s9" {
+		t.Fatalf("ring order wrong: %q .. %q", recs[0].Name, recs[3].Name)
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].Name != "s9" {
+		t.Fatalf("limited Recent wrong: %+v", got)
+	}
+}
+
+func TestSinkNDJSON(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer("n1", WithSpanSink(&buf))
+	_, sp := tr.Start(context.Background(), "run")
+	sp.End()
+	tr.Emit(SpanContext{}, "other", time.Now(), time.Microsecond, nil)
+
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var names []string
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad ndjson line %q: %v", sc.Text(), err)
+		}
+		names = append(names, rec.Name)
+	}
+	if len(names) != 2 || names[0] != "run" || names[1] != "other" {
+		t.Fatalf("sink lines: %v", names)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatal("nil span context should be zero")
+	}
+	if sc := SpanContextFrom(ctx); sc.Valid() {
+		t.Fatal("context from nil tracer should carry nothing")
+	}
+	tr.Emit(SpanContext{}, "x", time.Now(), 0, nil)
+	if tr.Recent(0) != nil {
+		t.Fatal("nil tracer Recent should be nil")
+	}
+	if tr.StartSpan(SpanContext{}, "x") != nil {
+		t.Fatal("nil tracer StartSpan should be nil")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer("n1")
+	_, sp := tr.Start(context.Background(), "once")
+	sp.End()
+	sp.End()
+	sp.SetAttr("late", "dropped")
+	recs := tr.Recent(0)
+	if len(recs) != 1 {
+		t.Fatalf("double End recorded %d spans", len(recs))
+	}
+	if _, ok := recs[0].Attrs["late"]; ok {
+		t.Fatal("attr set after End should be dropped")
+	}
+}

@@ -48,6 +48,7 @@ package policy
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/heap"
 	"repro/internal/kernel"
@@ -440,10 +441,24 @@ type Engine struct {
 	pol   Policy
 	stats Stats
 	tap   Tap
+	hook  QuantumHook
 	// marks is buildView's per-quantum scratch: one flag per page
 	// group, raised for groups overlapping a mapped region.
 	marks []bool
 }
+
+// QuantumHook observes a summary of each executed quantum: the
+// process, the safepoint sequence number, how many actions ran, the
+// pages and stall cycles they cost, and the quantum's wall-clock span.
+// Unlike a Tap it sees no views and forces no extra counter gathering,
+// so it is cheap enough for per-quantum telemetry (latency histograms,
+// policy.quantum spans) on uninstrumented-model terms: the emulated
+// costs are unchanged.
+type QuantumHook func(proc string, quantum uint64, actions, pagesMoved int, stallCycles float64, start time.Time, wall time.Duration)
+
+// SetQuantumHook attaches a summary observer. Install before the run
+// starts; the field is not synchronized against OnSafepoint.
+func (e *Engine) SetQuantumHook(h QuantumHook) { e.hook = h }
 
 // NewEngine resolves the configuration's policy from the registry.
 // Static needs no engine; callers should not construct one for it.
@@ -502,6 +517,10 @@ func (e *Engine) OnSafepoint(p *kernel.Process, pm *heap.PageMap) {
 	if e == nil || pm == nil {
 		return
 	}
+	var t0 time.Time
+	if e.hook != nil {
+		t0 = time.Now()
+	}
 	e.stats.Quanta++
 	m := p.Kernel().Machine()
 	v := e.buildView(p, pm, m)
@@ -514,10 +533,14 @@ func (e *Engine) OnSafepoint(p *kernel.Process, pm *heap.PageMap) {
 	if e.tap != nil && len(actions) > 0 {
 		exec = make([]Exec, 0, len(actions))
 	}
+	var movedQ int
+	var stallQ float64
 	for _, a := range actions {
 		moved, stall, err := p.MovePages(a.Addr, heap.PageGroupBytes, a.From, a.To)
 		e.stats.PagesMigrated += uint64(moved)
 		e.stats.StallCycles += stall
+		movedQ += moved
+		stallQ += stall
 		if e.tap != nil {
 			exec = append(exec, Exec{Moved: moved, Stall: stall})
 		}
@@ -535,6 +558,9 @@ func (e *Engine) OnSafepoint(p *kernel.Process, pm *heap.PageMap) {
 	}
 	if e.tap != nil {
 		e.tap.OnQuantum(p.Name, v, actions, exec)
+	}
+	if e.hook != nil {
+		e.hook(p.Name, v.Quantum, len(actions), movedQ, stallQ, t0, time.Since(t0))
 	}
 }
 

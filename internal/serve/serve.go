@@ -22,26 +22,39 @@
 //	GET  /v1/results  durable-store listing with spec filters + paging
 //	GET  /v1/policies the placement policies the engine offers
 //	GET  /v1/trace    record a run and stream its placement trace (ndjson)
+//	GET  /v1/spans    recent run-lifecycle spans (ndjson, oldest first)
 //	GET  /healthz     liveness
 //	GET  /v1/healthz  node identity, ring membership, queue depth
-//	GET  /metrics     cache + store + fabric counters (Prometheus text)
+//	GET  /metrics     counters, gauges, latency histograms (Prometheus text)
+//
+// Observability (internal/obs) is wired here: every request's latency
+// lands in a node-labelled histogram, every run opens a span tree
+// (run → cache.lookup → fabric.forward / store.lookup → emulate →
+// policy.quantum) joined across forwards by the W3C traceparent
+// header, and structured logs carry node, spec key, and trace id. All
+// of it is side-channel — instrumented runs produce bit-identical
+// Results.
 package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
-	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	hybridmem "repro"
 	"repro/internal/fabric"
 	"repro/internal/fabric/jobs"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -62,6 +75,20 @@ type Config struct {
 	// cluster: runs whose canonical key hashes to a peer are forwarded
 	// there, and forwarded-in requests always execute locally.
 	Fabric *fabric.Fabric
+	// Registry collects the server's metrics. Nil builds a private one;
+	// pass a shared registry to co-host several servers' series on one
+	// /metrics page.
+	Registry *obs.Registry
+	// Tracer records run-lifecycle spans. Nil builds one named after
+	// the node, optionally sinking to SpanSink.
+	Tracer *obs.Tracer
+	// SpanSink, when Tracer is nil, additionally streams every finished
+	// span to this writer as ndjson (e.g. a file for offline analysis).
+	// Ignored when Tracer is set.
+	SpanSink io.Writer
+	// Logger receives the server's structured logs. Nil falls back to
+	// slog.Default() with a node attribute.
+	Logger *slog.Logger
 }
 
 // Server routes the hybridserved API onto one shared Platform. It is
@@ -72,6 +99,10 @@ type Server struct {
 	fab      *fabric.Fabric // nil = single node
 	node     string
 	mux      *http.ServeMux
+	tel      *obs.Telemetry
+	log      *slog.Logger
+	runSec   *obs.Histogram // /v1/run request latency
+	sweepSec *obs.Histogram // /v1/sweep request latency
 	inflight atomic.Int64
 	requests atomic.Uint64
 
@@ -84,11 +115,11 @@ type Server struct {
 
 // New builds a Server on the platform. The platform's durable store
 // (if configured) is opened eagerly so a bad -store directory fails at
-// startup, not on the first request.
+// startup, not on the first request. The platform the server actually
+// runs on is derived with the node's telemetry attached — telemetry is
+// outside result identity, so it still shares cache and store entries
+// with the caller's platform.
 func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
-	if _, err := p.Store(); err != nil {
-		return nil, err
-	}
 	n := cfg.MaxInFlight
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -108,17 +139,101 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 			node = "local"
 		}
 	}
-	s := &Server{p: p, adm: jobs.NewAdmission(n, q), fab: cfg.Fabric, node: node, mux: http.NewServeMux()}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		var topts []obs.TracerOption
+		if cfg.SpanSink != nil {
+			topts = append(topts, obs.WithSpanSink(cfg.SpanSink))
+		}
+		tracer = obs.NewTracer(node, topts...)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default().With("node", node)
+	}
+	tel := &obs.Telemetry{Node: node, Metrics: reg, Tracer: tracer, Logger: logger}
+	// Attach telemetry before the eager store open so the store tier is
+	// instrumented from its first byte of replay.
+	p = p.With(hybridmem.WithTelemetry(tel))
+	if _, err := p.Store(); err != nil {
+		return nil, err
+	}
+	s := &Server{p: p, adm: jobs.NewAdmission(n, q), fab: cfg.Fabric, node: node, mux: http.NewServeMux(), tel: tel, log: logger}
+	lbl := obs.Labels{"node": node}
+	s.runSec = reg.Histogram("hybridserved_run_seconds",
+		"Latency of /v1/run requests (including forwards).", lbl, nil)
+	s.sweepSec = reg.Histogram("hybridserved_sweep_seconds",
+		"Latency of whole /v1/sweep requests.", lbl, nil)
+	s.adm.SetWaitObserver(reg.Histogram("hybridserved_admission_wait_seconds",
+		"Time queued requests waited for an in-flight slot.", lbl, nil))
+	if s.fab != nil {
+		s.fab.Instrument(tel)
+	}
+	s.registerMetrics(reg, lbl)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/autotune", s.handleAutotune)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleNodeHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
+}
+
+// registerMetrics exports the server's own state — cache tiers, store
+// size, admission load, fabric counters — as function-backed series
+// read at scrape time, plus build identity and Go runtime health.
+// Store gauges register only when a durable store is configured,
+// matching the previous hand-written exposition.
+func (s *Server) registerMetrics(reg *obs.Registry, lbl obs.Labels) {
+	counter := func(name, help string, fn func() float64) { reg.CounterFunc(name, help, lbl, fn) }
+	gauge := func(name, help string, fn func() float64) { reg.GaugeFunc(name, help, lbl, fn) }
+	counter("hybridserved_cache_hits_total", "Runs served from the in-memory result cache.",
+		func() float64 { return float64(s.p.CacheStats().Hits) })
+	counter("hybridserved_cache_misses_total", "Runs that missed the in-memory result cache.",
+		func() float64 { return float64(s.p.CacheStats().Misses) })
+	gauge("hybridserved_cache_entries", "Entries held by the in-memory result cache.",
+		func() float64 { return float64(s.p.CacheStats().Entries) })
+	counter("hybridserved_store_hits_total", "Runs restored from the durable store.",
+		func() float64 { return float64(s.p.CacheStats().DiskHits) })
+	counter("hybridserved_store_misses_total", "Runs the platform had to compute.",
+		func() float64 { return float64(s.p.CacheStats().DiskMisses) })
+	counter("hybridserved_store_put_failures_total", "Write-through appends that failed.",
+		func() float64 { return float64(s.p.CacheStats().StorePutFailures) })
+	if st, err := s.p.Store(); err == nil && st != nil {
+		gauge("hybridserved_store_records", "Live records in the durable store.",
+			func() float64 { return float64(st.Stats().Records) })
+		gauge("hybridserved_store_segments", "Segment files in the durable store.",
+			func() float64 { return float64(st.Stats().Segments) })
+		gauge("hybridserved_store_bytes", "Total size of the durable store's segments.",
+			func() float64 { return float64(st.Stats().Bytes) })
+	}
+	gauge("hybridserved_inflight_runs", "Platform runs currently executing.",
+		func() float64 { return float64(max(s.inflight.Load(), 0)) })
+	gauge("hybridserved_queue_depth", "Requests waiting for an in-flight slot.",
+		func() float64 { _, queued := s.adm.Depth(); return float64(queued) })
+	counter("hybridserved_rejected_total", "Requests shed with 429 by admission control.",
+		func() float64 { return float64(s.adm.Rejected()) })
+	counter("hybridserved_requests_total", "HTTP requests received.",
+		func() float64 { return float64(s.requests.Load()) })
+	counter("fabric_forwarded_total", "Runs served by forwarding to their ring owner.",
+		func() float64 { return float64(s.forwarded.Load()) })
+	counter("fabric_coalesced_total", "Runs served by joining or reusing existing work.",
+		func() float64 { return float64(s.coalesced.Load()) })
+	counter("fabric_degraded_total", "Forwards abandoned for local execution.",
+		func() float64 { return float64(s.degraded.Load()) })
+	reg.GaugeFunc("hybridserved_build_info",
+		"Build identity of this node; the value is always 1.",
+		obs.Labels{"node": s.node, "goversion": runtime.Version()},
+		func() float64 { return 1 })
+	obs.RegisterGoRuntime(reg, lbl)
 }
 
 // Node returns the server's node label.
@@ -237,14 +352,20 @@ func record(p *hybridmem.Platform, spec hybridmem.RunSpec, res hybridmem.Result)
 // store read, or a join onto in-flight work — counts as coalesced, so
 // N identical requests always report exactly N-1 coalesced however the
 // race between them resolves.
-func (s *Server) runLocal(r *http.Request, p *hybridmem.Platform, spec hybridmem.RunSpec) (store.Record, error) {
+func (s *Server) runLocal(ctx context.Context, p *hybridmem.Platform, spec hybridmem.RunSpec) (store.Record, error) {
+	parent := obs.SpanContextFrom(ctx)
+	lookupStart := time.Now()
 	if res, ok := p.Peek(spec); ok {
+		s.tel.Tracer.Emit(parent, "cache.lookup", lookupStart, time.Since(lookupStart),
+			map[string]string{"hit": "true"})
 		s.coalesced.Add(1)
 		return record(p, spec, res)
 	}
+	s.tel.Tracer.Emit(parent, "cache.lookup", lookupStart, time.Since(lookupStart),
+		map[string]string{"hit": "false"})
 	if p.Joinable(spec) {
 		// The compute's slot is held by the request that started it.
-		res, computed, err := p.RunShared(r.Context(), spec)
+		res, computed, err := p.RunShared(ctx, spec)
 		if err != nil {
 			return store.Record{}, err
 		}
@@ -253,7 +374,7 @@ func (s *Server) runLocal(r *http.Request, p *hybridmem.Platform, spec hybridmem
 		}
 		return record(p, spec, res)
 	}
-	release, err := s.adm.Acquire(r.Context())
+	release, err := s.adm.Acquire(ctx)
 	if err != nil {
 		return store.Record{}, err
 	}
@@ -262,7 +383,7 @@ func (s *Server) runLocal(r *http.Request, p *hybridmem.Platform, spec hybridmem
 		s.inflight.Add(-1)
 		release()
 	}()
-	res, computed, err := p.RunShared(r.Context(), spec)
+	res, computed, err := p.RunShared(ctx, spec)
 	if err != nil {
 		return store.Record{}, err
 	}
@@ -280,13 +401,13 @@ func (s *Server) runLocal(r *http.Request, p *hybridmem.Platform, spec hybridmem
 // past the retry budget, a non-200 response, a torn body) degrades to
 // local execution: the fleet loses sharding efficiency for that key,
 // never the run.
-func (s *Server) dispatch(r *http.Request, p *hybridmem.Platform, spec hybridmem.RunSpec, wire RunRequest) (store.Record, error) {
-	if s.fab == nil || r.Header.Get(fabric.ForwardHeader) != "" {
-		return s.runLocal(r, p, spec)
+func (s *Server) dispatch(ctx context.Context, forwardedIn bool, p *hybridmem.Platform, spec hybridmem.RunSpec, wire RunRequest) (store.Record, error) {
+	if s.fab == nil || forwardedIn {
+		return s.runLocal(ctx, p, spec)
 	}
 	owner := s.fab.Owner(p.SpecKey(spec))
 	if owner == s.fab.Self() {
-		return s.runLocal(r, p, spec)
+		return s.runLocal(ctx, p, spec)
 	}
 	// A locally known result needs no network hop, wherever the key
 	// lives on the ring.
@@ -298,25 +419,36 @@ func (s *Server) dispatch(r *http.Request, p *hybridmem.Platform, spec hybridmem
 	if err != nil {
 		return store.Record{}, err
 	}
-	resp, err := s.fab.Forward(r.Context(), owner, body)
+	// The forward span's context rides the request to the owner as a
+	// traceparent header, so the owner's spans join this trace.
+	fctx, fsp := s.tel.Tracer.Start(ctx, "fabric.forward")
+	fsp.SetAttr("owner", owner)
+	resp, err := s.fab.Forward(fctx, owner, body)
 	if err != nil {
-		if r.Context().Err() != nil {
-			return store.Record{}, r.Context().Err()
+		fsp.SetAttr("outcome", "transport-error")
+		fsp.End()
+		if ctx.Err() != nil {
+			return store.Record{}, ctx.Err()
 		}
 		s.degraded.Add(1)
-		return s.runLocal(r, p, spec)
+		s.log.Warn("forward degraded to local run", "owner", owner, "key", p.SpecKey(spec), "err", err)
+		return s.runLocal(ctx, p, spec)
 	}
+	fsp.SetAttr("status", strconv.Itoa(resp.Status))
+	fsp.End()
 	if resp.Status != http.StatusOK {
 		// The owner answered but would not serve (overloaded, draining,
 		// mid-upgrade): this node already validated the request, so run
 		// it here under its own admission control instead.
 		s.degraded.Add(1)
-		return s.runLocal(r, p, spec)
+		s.log.Warn("owner refused forward; running locally", "owner", owner, "status", resp.Status)
+		return s.runLocal(ctx, p, spec)
 	}
 	var rec store.Record
 	if err := json.Unmarshal(resp.Body, &rec); err != nil {
 		s.degraded.Add(1)
-		return s.runLocal(r, p, spec)
+		s.log.Warn("torn forward response; running locally", "owner", owner, "err", err)
+		return s.runLocal(ctx, p, spec)
 	}
 	s.forwarded.Add(1)
 	return rec, nil
@@ -334,8 +466,13 @@ func (s *Server) failRun(w http.ResponseWriter, err error) {
 }
 
 // handleRun serves POST /v1/run: one experiment, responded to as the
-// same Record schema the store segments persist.
+// same Record schema the store segments persist. Each request opens a
+// "run" span — continuing the sender's trace when a traceparent header
+// arrived — so a run forwarded across the fabric shows up as one
+// distributed trace: entry-node dispatch, owner-node execution, and
+// the engine's per-quantum work, all under a single trace id.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -346,11 +483,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		fail(w, httpStatus(err), err)
 		return
 	}
-	rec, err := s.dispatch(r, p, spec, req)
+	ctx := r.Context()
+	if sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ctx = obs.ContextWithRemote(ctx, sc)
+	}
+	key := p.SpecKey(spec)
+	forwardedIn := r.Header.Get(fabric.ForwardHeader) != ""
+	ctx, sp := s.tel.Tracer.Start(ctx, "run")
+	sp.SetAttr("app", spec.AppName)
+	sp.SetAttr("key", key)
+	if forwardedIn {
+		sp.SetAttr("forwarded", "true")
+	}
+	rec, err := s.dispatch(ctx, forwardedIn, p, spec, req)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	s.runSec.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.log.Warn("run failed", "app", spec.AppName, "key", key,
+			"trace", sp.Context().TraceID, "err", err)
 		s.failRun(w, err)
 		return
 	}
+	s.log.Debug("run served", "app", spec.AppName, "key", key,
+		"trace", sp.Context().TraceID, "seconds", time.Since(start).Seconds())
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(rec)
 }
@@ -391,6 +549,7 @@ type SweepItem struct {
 // lines as runs complete, so a client watching a long sweep sees
 // progress immediately and cached entries instantly.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -481,6 +640,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	ctx := r.Context()
+	if sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ctx = obs.ContextWithRemote(ctx, sc)
+	}
+	ctx, sp := s.tel.Tracer.Start(ctx, "sweep")
+	sp.SetAttr("cells", strconv.Itoa(len(cells)))
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -526,7 +692,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					Policy:    c.policy,
 					Native:    c.spec.Native,
 				}
-				rec, err := s.dispatch(r, c.p, c.spec, wire)
+				rec, err := s.dispatch(ctx, false, c.p, c.spec, wire)
 				if err != nil {
 					// Per-item failures stay in-stream: the rest of the
 					// grid keeps going, the client sees which cell broke.
@@ -538,6 +704,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
+	sp.End()
+	s.sweepSec.Observe(time.Since(start).Seconds())
+	s.log.Debug("sweep served", "cells", len(cells),
+		"trace", sp.Context().TraceID, "seconds", time.Since(start).Seconds())
 }
 
 // flushWriter streams every trace record to the client as it is
@@ -623,7 +793,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if _, err := tp.Run(r.Context(), spec); err != nil {
 		// The 200 and (likely) the trace header are already on the
 		// wire; all that is left is to stop extending the stream.
-		fmt.Fprintf(os.Stderr, "hybridserved: trace %s: %v\n", spec.AppName, err)
+		s.log.Error("trace run failed mid-stream", "app", spec.AppName, "err", err)
 	}
 }
 
@@ -893,36 +1063,34 @@ func (s *Server) handleNodeHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
-// format: the platform cache's two tiers, the server's own gauges, and
-// the fabric counters. Every series carries a node label so a scraper
-// aggregating a fleet can tell the nodes apart.
+// format (0.0.4): the platform cache's two tiers, the server's own
+// gauges, the fabric counters, latency histograms, build info, and Go
+// runtime health. Every series carries a node label so a scraper
+// aggregating a fleet can tell the nodes apart. See
+// docs/observability.md for the full catalog.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cs := s.p.CacheStats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	label := fmt.Sprintf("{node=%q}", s.node)
-	metric := func(name, typ, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s%s %d\n", name, help, name, typ, name, label, v)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.tel.Metrics.WritePrometheus(w)
+}
+
+// handleSpans serves GET /v1/spans: the tracer's most recent finished
+// spans as ndjson, oldest first, capped by ?limit=. The ring holds a
+// bounded window — scrape it after the runs of interest, or start the
+// daemon with -spans FILE for a complete record.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			fail(w, http.StatusBadRequest,
+				fmt.Errorf("%w: limit must be a non-negative integer, got %q", errBadRequest, v))
+			return
+		}
+		limit = n
 	}
-	counter := func(name, help string, v uint64) { metric(name, "counter", help, v) }
-	gauge := func(name, help string, v uint64) { metric(name, "gauge", help, v) }
-	counter("hybridserved_cache_hits_total", "Runs served from the in-memory result cache.", cs.Hits)
-	counter("hybridserved_cache_misses_total", "Runs that missed the in-memory result cache.", cs.Misses)
-	gauge("hybridserved_cache_entries", "Entries held by the in-memory result cache.", uint64(cs.Entries))
-	counter("hybridserved_store_hits_total", "Runs restored from the durable store.", cs.DiskHits)
-	counter("hybridserved_store_misses_total", "Runs the platform had to compute.", cs.DiskMisses)
-	counter("hybridserved_store_put_failures_total", "Write-through appends that failed.", cs.StorePutFailures)
-	if st, err := s.p.Store(); err == nil && st != nil {
-		ss := st.Stats()
-		gauge("hybridserved_store_records", "Live records in the durable store.", uint64(ss.Records))
-		gauge("hybridserved_store_segments", "Segment files in the durable store.", uint64(ss.Segments))
-		gauge("hybridserved_store_bytes", "Total size of the durable store's segments.", uint64(ss.Bytes))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, rec := range s.tel.Tracer.Recent(limit) {
+		enc.Encode(rec)
 	}
-	gauge("hybridserved_inflight_runs", "Platform runs currently executing.", uint64(max(s.inflight.Load(), 0)))
-	_, queued := s.adm.Depth()
-	gauge("hybridserved_queue_depth", "Requests waiting for an in-flight slot.", uint64(queued))
-	counter("hybridserved_rejected_total", "Requests shed with 429 by admission control.", s.adm.Rejected())
-	counter("hybridserved_requests_total", "HTTP requests received.", s.requests.Load())
-	counter("fabric_forwarded_total", "Runs served by forwarding to their ring owner.", s.forwarded.Load())
-	counter("fabric_coalesced_total", "Runs served by joining or reusing existing work.", s.coalesced.Load())
-	counter("fabric_degraded_total", "Forwards abandoned for local execution.", s.degraded.Load())
 }

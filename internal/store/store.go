@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -110,6 +111,9 @@ type Stats struct {
 	SkippedVersion int
 	// Bytes is the total size of all segment files.
 	Bytes int64
+	// LoadSeconds is how long Open spent replaying segments into the
+	// index (0 until the first non-shared Open completes).
+	LoadSeconds float64
 }
 
 // Store is an open result store. Create one with Open.
@@ -132,6 +136,19 @@ type Store struct {
 	// not destroy data it cannot read.
 	skippedLines [][]byte
 	closed       bool
+	loadSeconds  float64
+	appendObs    func(seconds float64)
+}
+
+// SetAppendObserver installs a callback receiving the elapsed seconds
+// of every successful segment append. Stores are deduplicated per
+// directory within the process, so the observer is per-instance state
+// shared by everything holding this directory open; the last setter
+// wins.
+func (s *Store) SetAppendObserver(fn func(seconds float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendObs = fn
 }
 
 const segPrefix = "seg-"
@@ -192,6 +209,7 @@ func openDir(dir string) (*Store, error) {
 	sort.Strings(names)
 
 	s := &Store{dir: dir, refs: 1, index: map[string]Record{}, segments: names, nextID: 1}
+	loadStart := time.Now()
 	cleanTail := true
 	for i, name := range names {
 		if id, ok := segID(name); ok && id >= s.nextID {
@@ -205,6 +223,7 @@ func openDir(dir string) (*Store, error) {
 			cleanTail = clean
 		}
 	}
+	s.loadSeconds = time.Since(loadStart).Seconds()
 
 	if s.migrated > 0 || s.skippedV > 0 {
 		// One counted line per Open, not per record: a large legacy
@@ -399,8 +418,15 @@ func (s *Store) Put(key string, spec core.RunSpec, res core.Result) error {
 	}
 	// One Write call per record: the line either lands whole or shows
 	// up as a torn tail that recovery drops.
+	var t0 time.Time
+	if s.appendObs != nil {
+		t0 = time.Now()
+	}
 	if _, err := s.seg.Write(line); err != nil {
 		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if s.appendObs != nil {
+		s.appendObs(time.Since(t0).Seconds())
 	}
 	s.index[key] = rec
 	s.appends++
@@ -433,6 +459,7 @@ func (s *Store) Stats() Stats {
 		Dropped:        s.dropped,
 		Migrated:       s.migrated,
 		SkippedVersion: s.skippedV,
+		LoadSeconds:    s.loadSeconds,
 	}
 	for _, p := range s.segments {
 		if fi, err := os.Stat(p); err == nil {

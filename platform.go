@@ -11,10 +11,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fabric/jobs"
 	"repro/internal/jvm"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -159,6 +161,7 @@ type config struct {
 	storeDir       string
 	policy         policy.Config
 	traceSink      io.Writer
+	obs            *obs.Telemetry
 }
 
 // defaultConfig mirrors core.DefaultOptions: emulation pipeline,
@@ -298,6 +301,19 @@ func WithPolicyConfig(cfg PolicyConfig) Option {
 // told apart from a different factory's in the next process.
 func WithStore(dir string) Option { return func(c *config) { c.storeDir = dir } }
 
+// WithTelemetry attaches a telemetry bundle (internal/obs): runs emit
+// lifecycle spans (run → store.lookup → emulate → plan/execute →
+// policy.quantum) into its tracer and latency histograms
+// (hybridmem_store_lookup_seconds, hybridmem_store_append_seconds,
+// hybridmem_emulate_seconds, hybridmem_policy_quantum_seconds) into
+// its registry. Telemetry is strictly side-channel: it is NOT part of
+// the result identity — instrumented and uninstrumented platforms
+// share cache and store entries and produce bit-identical Results —
+// and nil detaches it. The caller's span context (obs.ContextWithSpan
+// or ContextWithRemote on the Run ctx) parents the run's spans, so a
+// serving layer's distributed trace extends into the emulator core.
+func WithTelemetry(t *obs.Telemetry) Option { return func(c *config) { c.obs = t } }
+
 // WithTrace streams a per-quantum placement trace into w: a versioned
 // ndjson stream opening with a header (spec key, seed, policy knobs,
 // migration costs) followed by one record per policy-engine quantum —
@@ -371,27 +387,40 @@ type storeTier struct {
 	dir      string
 	mu       sync.Mutex
 	s        *store.Store
+	instr    bool // telemetry attached to the open store
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	putFails atomic.Uint64
 }
 
-// open opens the store on first use. Failures are returned but not
+// open opens the store on first use and, when the calling platform
+// carries telemetry, attaches the store's append histogram and
+// replay-time gauge (once per tier). Failures are returned but not
 // latched: a transient condition (full disk, unmounted volume) is
 // retried on the next call rather than poisoning the platform for the
 // process lifetime.
-func (t *storeTier) open() (*store.Store, error) {
+func (t *storeTier) open(tel *obs.Telemetry) (*store.Store, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.s != nil {
-		return t.s, nil
+	if t.s == nil {
+		s, err := store.Open(t.dir)
+		if err != nil {
+			return nil, err
+		}
+		t.s = s
 	}
-	s, err := store.Open(t.dir)
-	if err != nil {
-		return nil, err
+	if tel != nil && !t.instr {
+		t.instr = true
+		lbl := obs.Labels{"node": tel.Node}
+		h := tel.Metrics.Histogram("hybridmem_store_append_seconds",
+			"Durable-store segment append latency per record.", lbl, nil)
+		t.s.SetAppendObserver(func(seconds float64) { h.Observe(seconds) })
+		s := t.s
+		tel.Metrics.GaugeFunc("hybridmem_store_load_seconds",
+			"Segment replay time of the store's Open.", lbl,
+			func() float64 { return s.Stats().LoadSeconds })
 	}
-	t.s = s
-	return s, nil
+	return t.s, nil
 }
 
 // Store returns the platform's durable result store, opening it on
@@ -402,7 +431,7 @@ func (p *Platform) Store() (*store.Store, error) {
 	if p.disk == nil {
 		return nil, nil
 	}
-	return p.disk.open()
+	return p.disk.open(p.cfg.obs)
 }
 
 // Scale returns the platform's input scale.
@@ -591,7 +620,7 @@ func (p *Platform) Peek(spec RunSpec) (Result, bool) {
 		return res, true
 	}
 	if p.disk != nil && durableKey(key) {
-		if s, err := p.disk.open(); err == nil {
+		if s, err := p.disk.open(p.cfg.obs); err == nil {
 			if rec, ok := s.Get(key.canonical()); ok {
 				p.disk.hits.Add(1)
 				return rec.Result, true
@@ -680,6 +709,8 @@ func (p *Platform) RunShared(ctx context.Context, spec RunSpec) (res Result, com
 		opts := p.coreOptions()
 		opts.TraceSink = p.cfg.traceSink
 		opts.TraceKey = p.key(spec).canonical()
+		opts.Obs = p.cfg.obs
+		opts.ObsParent = obs.SpanContextFrom(ctx)
 		res, err := core.Run(opts, spec)
 		if err != nil {
 			return Result{}, false, fmt.Errorf("hybridmem: %s: %w", specLabel(spec), err)
@@ -687,6 +718,12 @@ func (p *Platform) RunShared(ctx context.Context, spec RunSpec) (res Result, com
 		return res, true, nil
 	}
 	key := p.key(spec)
+	// Telemetry observes the computing caller only: joiners and cache
+	// hits emit nothing here (the serving layer times them), and the
+	// parent span context is captured outside the closure so the
+	// compute's spans land in the trace of the request that ran it.
+	tel := p.cfg.obs
+	parent := obs.SpanContextFrom(ctx)
 
 	// The single-flight group deduplicates concurrent identical runs
 	// and memoizes completed ones; the compute closure layers the
@@ -695,12 +732,29 @@ func (p *Platform) RunShared(ctx context.Context, spec RunSpec) (res Result, com
 	// the group retires the entry and releases any waiters before the
 	// panic propagates.
 	res, computed, err = p.cache.Do(ctx, key.canonical(), func(ctx context.Context) (Result, error) {
-		if res, ok, derr := p.diskGet(key); derr != nil {
+		var lookupStart time.Time
+		if tel != nil {
+			lookupStart = time.Now()
+		}
+		res, ok, derr := p.diskGet(key)
+		if tel != nil && p.disk != nil {
+			d := time.Since(lookupStart)
+			tel.Metrics.Histogram("hybridmem_store_lookup_seconds",
+				"Durable-store lookup latency per compute (open included on first use).",
+				obs.Labels{"node": tel.Node}, nil).Observe(d.Seconds())
+			tel.Tracer.Emit(parent, "store.lookup", lookupStart, d,
+				map[string]string{"hit": strconv.FormatBool(ok)})
+		}
+		if derr != nil {
 			return Result{}, fmt.Errorf("hybridmem: %s: %w", specLabel(spec), derr)
-		} else if ok {
+		}
+		if ok {
 			return res, nil
 		}
-		res, err := core.Run(p.coreOptions(), spec)
+		opts := p.coreOptions()
+		opts.Obs = tel
+		opts.ObsParent = parent
+		res, err := core.Run(opts, spec)
 		if err != nil {
 			// Failed runs are not memoized; a later call retries. The
 			// spec label identifies the failing experiment inside wide
@@ -733,7 +787,7 @@ func (p *Platform) diskGet(key cacheKey) (Result, bool, error) {
 		p.disk.misses.Add(1)
 		return Result{}, false, nil
 	}
-	s, err := p.disk.open()
+	s, err := p.disk.open(p.cfg.obs)
 	if err != nil {
 		return Result{}, false, err
 	}
@@ -752,7 +806,7 @@ func (p *Platform) diskPut(key cacheKey, spec RunSpec, res Result) {
 	if p.disk == nil || !durableKey(key) {
 		return
 	}
-	s, err := p.disk.open()
+	s, err := p.disk.open(p.cfg.obs)
 	if err != nil {
 		p.disk.putFails.Add(1)
 		return

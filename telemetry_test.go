@@ -1,0 +1,95 @@
+package hybridmem
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTelemetryIsSideChannel enforces the telemetry subsystem's core
+// invariant: attaching WithTelemetry changes nothing observable about
+// a run — the Result encodes byte-identically, the canonical spec key
+// is unchanged — while the registry and tracer fill with the run's
+// metrics and span tree.
+func TestTelemetryIsSideChannel(t *testing.T) {
+	kind, err := ParseCollector("KG-N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NormalizeSpec(RunSpec{AppName: "PR", Collector: kind})
+
+	plain := New(WithScale(Quick), WithPolicy(WriteThreshold))
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer("test")
+	tel := &obs.Telemetry{Node: "test", Metrics: reg, Tracer: tracer}
+	instr := New(WithScale(Quick), WithPolicy(WriteThreshold), WithTelemetry(tel))
+
+	if pk, ik := plain.SpecKey(spec), instr.SpecKey(spec); pk != ik {
+		t.Fatalf("telemetry changed the spec key: %s != %s", ik, pk)
+	}
+
+	want, err := plain.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := instr.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := EncodeResult(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := EncodeResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(wantBytes) {
+		t.Errorf("instrumented result differs from plain:\n got %s\nwant %s", gotBytes, wantBytes)
+	}
+
+	if n := reg.Histogram("hybridmem_emulate_seconds", "", obs.Labels{"node": "test"}, nil).Count(); n != 1 {
+		t.Errorf("emulate histogram count = %d, want 1", n)
+	}
+	if n := reg.Histogram("hybridmem_policy_quantum_seconds", "", obs.Labels{"node": "test"}, nil).Count(); n < 1 {
+		t.Errorf("policy quantum histogram count = %d, want >= 1", n)
+	}
+
+	var emulate *obs.SpanRecord
+	quanta := 0
+	spans := tracer.Recent(0)
+	for i, sp := range spans {
+		switch sp.Name {
+		case "emulate":
+			emulate = &spans[i]
+		case "policy.quantum":
+			quanta++
+		}
+	}
+	if emulate == nil {
+		t.Fatalf("no emulate span recorded: %+v", spans)
+	}
+	if quanta < 1 {
+		t.Error("no policy.quantum spans recorded")
+	}
+	for _, sp := range spans {
+		if sp.Trace != emulate.Trace {
+			t.Errorf("span %s in trace %s, want all spans in %s", sp.Name, sp.Trace, emulate.Trace)
+		}
+	}
+}
+
+// TestTelemetryNilDetaches checks that WithTelemetry(nil) on a derived
+// platform fully detaches instrumentation and still runs.
+func TestTelemetryNilDetaches(t *testing.T) {
+	tel := &obs.Telemetry{Node: "test", Metrics: obs.NewRegistry(), Tracer: obs.NewTracer("test")}
+	p := New(WithScale(Quick), WithTelemetry(tel)).With(WithTelemetry(nil))
+	spec := NormalizeSpec(RunSpec{AppName: "pmd"})
+	if _, err := p.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if spans := tel.Tracer.Recent(0); len(spans) != 0 {
+		t.Errorf("detached platform still recorded %d spans", len(spans))
+	}
+}
