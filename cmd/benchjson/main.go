@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output into the stable
+// JSON document the repo's bench trajectory diffs across PRs
+// (BENCH_<n>.json): benchmark name → ns/op plus, when the run used
+// -benchmem, bytes/op and allocs/op.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -benchmem -run '^$' ./... | benchjson > BENCH_8.json
+//	benchjson -o BENCH_8.json < bench.txt
+//
+// Non-benchmark lines (PASS, ok, pkg headers, goos/goarch) pass
+// through silently; a benchmark reported twice (e.g. -count > 1)
+// keeps its last measurement. The output shape is documented in
+// docs/observability.md; keys marshal sorted, so two runs of the same
+// suite diff cleanly.
+//
+// Exit status: 0 on success (even when zero benchmarks were found —
+// the empty document is valid), 1 on a write error, 2 on bad flags.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's figures. NsPerOp is always present;
+// BytesPerOp/AllocsPerOp only when the bench ran with -benchmem.
+type Measurement struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  *uint64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *uint64 `json:"allocsPerOp,omitempty"`
+}
+
+// Document is the BENCH_<n>.json schema, versioned so future PRs can
+// extend it without breaking differs.
+type Document struct {
+	V          int                    `json:"v"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its exit code surfaced so the CLI contract is
+// testable.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outPath := fs.String("o", "", "write the JSON document here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	doc := Document{V: 1, Benchmarks: map[string]Measurement{}}
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if name, m, ok := parseBenchLine(sc.Text()); ok {
+			doc.Benchmarks[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(stderr, "benchjson: reading input: %v\n", err)
+		return 1
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if *outPath == "" {
+		if _, err := stdout.Write(out); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseBenchLine decodes one `go test -bench` result line:
+//
+//	BenchmarkName-8   1   123456 ns/op   2048 B/op   12 allocs/op
+//
+// Measurements come as value-unit pairs after the iteration count;
+// unknown units are skipped so future testing-package additions (or
+// custom b.ReportMetric units) pass through without breaking the
+// parse. Lines that are not benchmark results report ok=false.
+func parseBenchLine(line string) (string, Measurement, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Measurement{}, false
+	}
+	// fields[1] is the iteration count; a line like "BenchmarkFoo ---"
+	// (a skip) has no count and no measurements.
+	if _, err := strconv.ParseUint(fields[1], 10, 64); err != nil {
+		return "", Measurement{}, false
+	}
+	var m Measurement
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return "", Measurement{}, false
+			}
+			m.NsPerOp = f
+			seenNs = true
+		case "B/op":
+			if n, err := strconv.ParseUint(val, 10, 64); err == nil {
+				m.BytesPerOp = &n
+			}
+		case "allocs/op":
+			if n, err := strconv.ParseUint(val, 10, 64); err == nil {
+				m.AllocsPerOp = &n
+			}
+		}
+	}
+	if !seenNs {
+		return "", Measurement{}, false
+	}
+	return fields[0], m, true
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := parseBenchLine("BenchmarkRun/quick-8   \t       1\t 123456 ns/op\t  2048 B/op\t      12 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if name != "BenchmarkRun/quick-8" {
+		t.Errorf("name = %q", name)
+	}
+	if m.NsPerOp != 123456 {
+		t.Errorf("NsPerOp = %v", m.NsPerOp)
+	}
+	if m.BytesPerOp == nil || *m.BytesPerOp != 2048 {
+		t.Errorf("BytesPerOp = %v", m.BytesPerOp)
+	}
+	if m.AllocsPerOp == nil || *m.AllocsPerOp != 12 {
+		t.Errorf("AllocsPerOp = %v", m.AllocsPerOp)
+	}
+
+	// Without -benchmem only ns/op is present; fractional values parse.
+	name, m, ok = parseBenchLine("BenchmarkTiny-4 1000000000 0.5000 ns/op")
+	if !ok || name != "BenchmarkTiny-4" || m.NsPerOp != 0.5 || m.BytesPerOp != nil || m.AllocsPerOp != nil {
+		t.Errorf("minimal line: ok=%v name=%q m=%+v", ok, name, m)
+	}
+
+	for _, line := range []string{
+		"PASS",
+		"ok  \trepro\t1.2s",
+		"goos: linux",
+		"BenchmarkSkipped --- SKIP",
+		"BenchmarkNoCount ns/op",
+		"",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q wrongly parsed as a benchmark", line)
+		}
+	}
+}
+
+func TestRunEmitsDocument(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkA-2 10 100 ns/op 8 B/op 1 allocs/op",
+		"BenchmarkB-2 1 2000 ns/op",
+		"BenchmarkA-2 10 120 ns/op 8 B/op 1 allocs/op", // -count>1: last wins
+		"PASS",
+	}, "\n")
+	var out, errw bytes.Buffer
+	if code := run(nil, strings.NewReader(in), &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errw.String())
+	}
+	var doc Document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.V != 1 || len(doc.Benchmarks) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Benchmarks["BenchmarkA-2"].NsPerOp != 120 {
+		t.Errorf("BenchmarkA-2 = %+v, want last measurement to win", doc.Benchmarks["BenchmarkA-2"])
+	}
+	if doc.Benchmarks["BenchmarkB-2"].AllocsPerOp != nil {
+		t.Error("BenchmarkB-2 should have no allocs/op")
+	}
+}

@@ -14,10 +14,12 @@
 //	             [-debug-addr 127.0.0.1:6060]
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (streams ndjson),
-// GET /v1/results, GET /v1/policies, GET /v1/spans, GET /healthz,
-// GET /v1/healthz, GET /metrics. SIGTERM (or Ctrl-C) drains in-flight
-// requests before exiting. -policy sets the default placement policy;
-// requests override it per run or sweep.
+// GET /v1/results, GET /v1/policies, GET /v1/spans, GET /v1/runs,
+// GET /v1/runs/{id}, GET /v1/runs/{id}/events, GET /v1/status,
+// GET /v1/fleet/status, GET /healthz, GET /v1/healthz, GET /metrics.
+// SIGTERM (or Ctrl-C) drains in-flight requests before exiting.
+// -policy sets the default placement policy; requests override it per
+// run or sweep.
 //
 // With -node and -peers the server joins a sharded fabric: -node is
 // this node's own base URL (its identity on the consistent-hash ring)
@@ -32,7 +34,10 @@
 // run-lifecycle span appends to the -spans ndjson file (and is always
 // queryable from GET /v1/spans), and -debug-addr exposes net/http/pprof
 // on a second listener — keep it on loopback or behind a firewall, it
-// is unauthenticated by design. See docs/observability.md.
+// is unauthenticated by design. The flight recorder (GET /v1/runs and
+// friends) tracks every admitted run's lifecycle, and GET
+// /v1/fleet/status merges the whole ring's status for cmd/hybridtop.
+// See docs/observability.md.
 package main
 
 import (

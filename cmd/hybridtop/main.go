@@ -1,0 +1,199 @@
+// Command hybridtop is a dependency-free terminal dashboard for a
+// hybridserved fleet: it polls one node's GET /v1/fleet/status (which
+// fans out over the whole ring) and renders the fleet headline, a
+// per-node table, and the active runs — a `top` for emulation runs.
+//
+// Usage:
+//
+//	hybridtop [-server http://localhost:8080] [-interval 2s]
+//	hybridtop -once            # one snapshot, no screen clearing
+//	hybridtop -once -json      # raw fleet status JSON, for scripting
+//
+// Point -server at any node; the fleet document is the same from
+// every member (modulo probe timing). Unreachable peers render in the
+// UNREACHABLE line and shrink the tables — hybridtop itself only
+// fails when the node it polls is down.
+//
+// Exit status: 0 on success, 1 when the polled node cannot be reached
+// (-once mode; the interactive loop keeps retrying and shows the
+// error in place), 2 on bad flags.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exit code surfaced so the CLI contract is
+// testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hybridtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://localhost:8080", "base URL of any fleet node")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render one snapshot and exit")
+	asJSON := fs.Bool("json", false, "emit the raw fleet status JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(stderr, "hybridtop: -interval must be positive")
+		return 2
+	}
+	base := strings.TrimRight(*server, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for {
+		st, err := fetch(client, base)
+		switch {
+		case err != nil && *once:
+			fmt.Fprintf(stderr, "hybridtop: %v\n", err)
+			return 1
+		case err != nil:
+			// Interactive mode rides out a bounce of the polled node:
+			// show the error where the dashboard was and keep polling.
+			fmt.Fprintf(stdout, "%s[hybridtop] %s unreachable: %v (retrying every %s)\n",
+				clearScreen, base, err, *interval)
+		case *asJSON:
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(st)
+		case *once:
+			render(stdout, base, st, "")
+		default:
+			render(stdout, base, st, clearScreen)
+		}
+		if *once {
+			return 0
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// clearScreen is the ANSI clear + home sequence the interactive loop
+// repaints with.
+const clearScreen = "\x1b[2J\x1b[H"
+
+// fetch pulls one fleet status document.
+func fetch(client *http.Client, base string) (serve.FleetStatus, error) {
+	var st serve.FleetStatus
+	resp, err := client.Get(base + "/v1/fleet/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("%s answered %s", base, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decoding fleet status: %w", err)
+	}
+	return st, nil
+}
+
+// render paints the dashboard: headline, per-node table, active runs.
+func render(w io.Writer, base string, st serve.FleetStatus, prefix string) {
+	var b strings.Builder
+	b.WriteString(prefix)
+	fmt.Fprintf(&b, "hybridtop — %s — %s\n", base, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "fleet: %d nodes (%d healthy, %d unreachable)  active %d  inflight %d  queued %d\n",
+		st.Fleet.Nodes, st.Fleet.Healthy, st.Fleet.Unreachable,
+		st.Fleet.ActiveRuns, st.Fleet.Inflight, st.Fleet.Queued)
+	fmt.Fprintf(&b, "runs:  started %d  done %d  failed %d   routing: fwd %d  coalesced %d  degraded %d  rejected %d   store: %d recs / %s\n",
+		st.Fleet.Started, st.Fleet.Done, st.Fleet.Failed,
+		st.Fleet.Forwarded, st.Fleet.Coalesced, st.Fleet.Degraded, st.Fleet.Rejected,
+		st.Fleet.StoreRecords, fmtBytes(st.Fleet.StoreBytes))
+	if len(st.Unreachable) > 0 {
+		fmt.Fprintf(&b, "UNREACHABLE: %s\n", strings.Join(st.Unreachable, ", "))
+	}
+
+	b.WriteString("\n")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tINFLIGHT\tQUEUED\tACTIVE\tDONE\tFAILED\tFWD\tCOAL\tDEGR\tREJ\tSTORE")
+	for _, n := range st.Nodes {
+		fmt.Fprintf(tw, "%s\t%d/%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			n.Node, n.Inflight, n.MaxInflight, n.Queued, n.MaxQueued,
+			len(n.Runs.Active), n.Runs.Done, n.Runs.Failed,
+			n.Forwarded, n.Coalesced, n.Degraded, n.Rejected, n.StoreRecords)
+	}
+	tw.Flush()
+
+	runs := activeRuns(st)
+	b.WriteString("\n")
+	if len(runs) == 0 {
+		b.WriteString("no active runs\n")
+	} else {
+		fmt.Fprintf(&b, "active runs (%d):\n", len(runs))
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "RUN\tNODE\tKIND\tAPP\tSTATE\tQUANTA\tMIGRATED\tCELLS\tAGE")
+		for _, ar := range runs {
+			cells := "-"
+			if ar.run.Cells > 0 {
+				cells = fmt.Sprintf("%d/%d", ar.run.CellsDone, ar.run.Cells)
+			}
+			age := time.Since(time.Unix(0, ar.run.StartUnixNano)).Round(100 * time.Millisecond)
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%s\n",
+				ar.run.ID, ar.node, ar.run.Kind, orDash(ar.run.App), ar.run.State,
+				ar.run.Quanta, ar.run.PagesMigrated, cells, age)
+		}
+		tw.Flush()
+	}
+	io.WriteString(w, b.String())
+}
+
+type activeRun struct {
+	node string
+	run  serve.RunInfo
+}
+
+// activeRuns flattens every node's active list, newest first.
+func activeRuns(st serve.FleetStatus) []activeRun {
+	var out []activeRun
+	for _, n := range st.Nodes {
+		for _, info := range n.Runs.Active {
+			out = append(out, activeRun{node: n.Node, run: info})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].run.StartUnixNano != out[j].run.StartUnixNano {
+			return out[i].run.StartUnixNano > out[j].run.StartUnixNano
+		}
+		return out[i].run.ID < out[j].run.ID
+	})
+	return out
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// fmtBytes renders a byte count with a binary unit, top-style.
+func fmtBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

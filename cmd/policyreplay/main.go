@@ -6,7 +6,7 @@
 // Usage:
 //
 //	policyreplay -trace run.ndjson [-policy all|static|first-touch|
-//	             write-threshold|wear-level]
+//	             write-threshold|wear-level] [-log-format text|json]
 //
 // Record traces with `hybridemu -trace out.ndjson ...` or stream them
 // from a hybridserved instance (`GET /v1/trace?app=...`). "-" reads
@@ -19,6 +19,11 @@
 // stream, estimates otherwise), the estimated PCM write placement and
 // its reduction against a no-migration baseline, and whether the
 // replay reproduced the recorded action stream bit-identically.
+//
+// The table goes to stdout; diagnostics go to stderr as structured
+// logs in -log-format (text or json — the same obs helper and flag
+// hybridserved and policytune take, so a pipeline collecting the
+// fleet's logs can parse every command the same way).
 //
 // Exit status: 0 on success, 1 when the trace is corrupt (the valid
 // prefix is still replayed and reported) or the replay fails, 2 on bad
@@ -35,16 +40,23 @@ import (
 	"strings"
 
 	hybridmem "repro"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "recorded ndjson trace (hybridemu -trace); - for stdin")
 	policyName := flag.String("policy", "all", "policy to replay, or all")
+	logFormat := flag.String("log-format", "text", "diagnostic log format: text or json")
 	flag.Parse()
 
-	fail := func(err error) {
+	log, err := obs.NewLogger(os.Stderr, *logFormat, "")
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "policyreplay: %v\n", err)
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		log.Error("invalid invocation", "err", err)
 		os.Exit(2)
 	}
 
@@ -52,7 +64,6 @@ func main() {
 		fail(errors.New("-trace is required (record one with hybridemu -trace)"))
 	}
 	var data []byte
-	var err error
 	if *tracePath == "-" {
 		data, err = io.ReadAll(os.Stdin)
 	} else {
@@ -91,7 +102,7 @@ func main() {
 	for _, pol := range policies {
 		st, err := hybridmem.ReplayTrace(bytes.NewReader(data), pol)
 		if err != nil && !errors.Is(err, hybridmem.ErrTraceCorrupt) {
-			fmt.Fprintf(os.Stderr, "policyreplay: %s: %v\n", pol, err)
+			log.Error("replay failed", "policy", pol.String(), "err", err)
 			os.Exit(1)
 		}
 		match := "yes"
@@ -106,7 +117,7 @@ func main() {
 			st.PCMWriteLines, 100*st.PCMWriteReduction(), match)
 		if err != nil {
 			// Corrupt tail: the numbers above cover the valid prefix.
-			fmt.Fprintf(os.Stderr, "policyreplay: %v\n", err)
+			log.Error("trace truncated", "policy", pol.String(), "err", err)
 			corrupt = true
 		}
 	}

@@ -418,6 +418,10 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 		qh := tel.Metrics.Histogram("hybridmem_policy_quantum_seconds",
 			"Wall-clock time of one policy-engine quantum (view build + decide + migrate).",
 			obs.Labels{"node": tel.Node}, nil)
+		// Cumulative progress for the flight-recorder seam. The hook
+		// fires on the kernel's single cooperative runner, so plain
+		// closure counters are race-free.
+		var quanta, actionsTotal, migrated uint64
 		eng.SetQuantumHook(func(proc string, quantum uint64, actions, moved int, stall float64, start time.Time, wall time.Duration) {
 			qh.Observe(wall.Seconds())
 			tracer.Emit(execSp.Context(), "policy.quantum", start, wall, map[string]string{
@@ -426,8 +430,17 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 				"actions":    strconv.Itoa(actions),
 				"pagesMoved": strconv.Itoa(moved),
 			})
+			quanta++
+			actionsTotal += uint64(actions)
+			migrated += uint64(moved)
+			tel.Quantum(opts.ObsParent, quanta, actionsTotal, migrated)
 		})
 	}
+
+	// The flight-recorder milestone: the run's instances are about to
+	// execute. Keyed by the caller's span context so a serving layer
+	// can flip this run's lifecycle record to "emulating".
+	tel.Emulating(opts.ObsParent)
 
 	rc := kernel.RunConfig{
 		QuantumCycles:  opts.QuantumCycles,

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHistogramExpositionGolden freezes the histogram exposition
+// against the Prometheus text-format (0.0.4) contract, byte for byte:
+// cumulative buckets in bound order, an explicit le="+Inf" bucket
+// equal to _count, a _sum series, and label/help escaping for
+// backslash, quote, and newline. If this golden moves, every scraper
+// of /metrics sees the change — it must be deliberate.
+func TestHistogramExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("demo_seconds", "Latency \\ demo\nsecond line",
+		Labels{"node": "n\"1\\x"}, []float64{0.5, 1, 2})
+	for _, v := range []float64{0.3, 0.7, 1, 1.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	want := `# HELP demo_seconds Latency \\ demo\nsecond line
+# TYPE demo_seconds histogram
+demo_seconds_bucket{node="n\"1\\x",le="0.5"} 1
+demo_seconds_bucket{node="n\"1\\x",le="1"} 3
+demo_seconds_bucket{node="n\"1\\x",le="2"} 4
+demo_seconds_bucket{node="n\"1\\x",le="+Inf"} 5
+demo_seconds_sum{node="n\"1\\x"} 8.5
+demo_seconds_count{node="n\"1\\x"} 5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition drifted from the frozen text-format contract:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestHistogramExpositionInvariants checks the structural contract on
+// a histogram with the default bucket layout, independent of the exact
+// golden bytes: buckets are cumulative (monotonically non-decreasing
+// in bound order), the +Inf bucket equals _count, and _sum carries the
+// observation total.
+func TestHistogramExpositionInvariants(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("inv_seconds", "Invariant probe.", Labels{"node": "a"}, nil)
+	var sum float64
+	for _, v := range []float64{1e-5, 0.003, 0.2, 1.5, 40, 1e6} {
+		h.Observe(v)
+		sum += v
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+
+	var (
+		buckets []uint64
+		infVal  = uint64(0)
+		count   = uint64(0)
+		sumSeen = false
+	)
+	for _, line := range strings.Split(b.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "inv_seconds_bucket"):
+			n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("unparsable bucket line %q: %v", line, err)
+			}
+			buckets = append(buckets, n)
+			if strings.Contains(line, `le="+Inf"`) {
+				infVal = n
+			}
+		case strings.HasPrefix(line, "inv_seconds_sum"):
+			sumSeen = true
+			got, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil || got != sum {
+				t.Errorf("_sum = %q, want %v (err %v)", line, sum, err)
+			}
+		case strings.HasPrefix(line, "inv_seconds_count"):
+			n, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("unparsable count line %q: %v", line, err)
+			}
+			count = n
+		}
+	}
+	if len(buckets) != len(DefBuckets)+1 {
+		t.Fatalf("got %d bucket lines, want %d (DefBuckets + le=\"+Inf\")", len(buckets), len(DefBuckets)+1)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] < buckets[i-1] {
+			t.Errorf("bucket %d not cumulative: %d < %d", i, buckets[i], buckets[i-1])
+		}
+	}
+	if buckets[len(buckets)-1] != infVal {
+		t.Errorf("last bucket %d is not the +Inf bucket %d", buckets[len(buckets)-1], infVal)
+	}
+	if infVal != count {
+		t.Errorf(`le="+Inf" bucket %d != _count %d`, infVal, count)
+	}
+	if count != 6 {
+		t.Errorf("_count = %d, want 6", count)
+	}
+	if !sumSeen {
+		t.Error("no _sum series emitted")
+	}
+}

@@ -36,6 +36,46 @@ type Telemetry struct {
 	Tracer *Tracer
 	// Logger is the node's structured logger (nil = slog.Default()).
 	Logger *slog.Logger
+	// Runs, when non-nil, observes run-execution milestones — the
+	// flight-recorder seam. The emulator core reports progress keyed by
+	// the span context the caller handed it (core.Options.ObsParent),
+	// so a serving layer that started one span per run can route each
+	// callback to that run's lifecycle record. Like every obs surface
+	// it is strictly side-channel: observers see progress, they cannot
+	// perturb the run.
+	Runs RunObserver
+}
+
+// RunObserver receives execution milestones for in-flight runs. parent
+// is the span context the run was started under (the identity the
+// caller controls); implementations must be safe for concurrent use
+// and must not block — callbacks fire on the emulator's run goroutine.
+type RunObserver interface {
+	// RunEmulating fires once per compute, when the run's instances
+	// start executing (after plan construction, before the first
+	// quantum).
+	RunEmulating(parent SpanContext)
+	// RunQuantum fires after each executed policy-engine quantum with
+	// the run's cumulative progress counters so far.
+	RunQuantum(parent SpanContext, quanta, actions, pagesMigrated uint64)
+}
+
+// Emulating dispatches RunEmulating. Safe on a nil Telemetry or a nil
+// Runs observer.
+func (t *Telemetry) Emulating(parent SpanContext) {
+	if t == nil || t.Runs == nil {
+		return
+	}
+	t.Runs.RunEmulating(parent)
+}
+
+// Quantum dispatches RunQuantum. Safe on a nil Telemetry or a nil Runs
+// observer.
+func (t *Telemetry) Quantum(parent SpanContext, quanta, actions, pagesMigrated uint64) {
+	if t == nil || t.Runs == nil {
+		return
+	}
+	t.Runs.RunQuantum(parent, quanta, actions, pagesMigrated)
 }
 
 // Log returns the bundle's logger, falling back to slog.Default. Safe

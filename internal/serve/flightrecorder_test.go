@@ -1,0 +1,572 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	hybridmem "repro"
+	"repro/internal/obs"
+)
+
+// jsonBody marshals a request body without a testing.T, for goroutines
+// that may not call t.Fatal.
+func jsonBody(v any) io.Reader {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// getJSON decodes a GET response into out, failing on a non-200.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+// runsListing is the /v1/runs response envelope.
+type runsListing struct {
+	Count  int       `json:"count"`
+	Total  int       `json:"total"`
+	Offset int       `json:"offset"`
+	Runs   []RunInfo `json:"runs"`
+}
+
+// TestRunRegistry exercises the flight recorder's own API: lifecycle
+// transitions, phase timings, watch replay + live delivery, observer
+// routing by span ID, and the bounded recent ring.
+func TestRunRegistry(t *testing.T) {
+	reg := NewRunRegistry("n1", 2)
+
+	h := reg.Begin("run", "PR", "key-a", "trace-1", "span-1", "")
+	if h.ID() == "" {
+		t.Fatal("Begin issued no run ID")
+	}
+	// Watch before any transition: history holds the queued event, the
+	// live channel gets everything after.
+	history, live, cancel, ok := reg.Watch(h.ID())
+	if !ok || len(history) != 1 || history[0].State != RunQueued {
+		t.Fatalf("Watch history = %+v, ok=%v", history, ok)
+	}
+	defer cancel()
+
+	h.Transition(RunAdmitted, "")
+	// Observer callbacks route by the span ID bound at Begin.
+	reg.RunEmulating(obs.SpanContext{TraceID: "trace-1", SpanID: "span-1"})
+	reg.RunQuantum(obs.SpanContext{TraceID: "trace-1", SpanID: "span-1"}, 3, 7, 2)
+	reg.RunQuantum(obs.SpanContext{TraceID: "trace-1", SpanID: "span-1"}, 5, 9, 4)
+	// A callback for an unknown span must be ignored, not crash.
+	reg.RunEmulating(obs.SpanContext{SpanID: "span-unknown"})
+	h.Finish(OutcomeComputed, nil)
+
+	var events []RunEvent
+	for ev := range live {
+		events = append(events, ev)
+	}
+	wantStates := []RunState{RunAdmitted, RunEmulating, RunEmulating, RunEmulating, RunDone}
+	if len(events) != len(wantStates) {
+		t.Fatalf("live events = %+v, want %d", events, len(wantStates))
+	}
+	prevQuanta := uint64(0)
+	for i, ev := range events {
+		if ev.State != wantStates[i] {
+			t.Errorf("event %d state = %s, want %s", i, ev.State, wantStates[i])
+		}
+		if ev.Seq != i+2 { // seq 1 was the queued event in history
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+2)
+		}
+		if ev.Quanta < prevQuanta {
+			t.Errorf("event %d quanta %d regressed below %d", i, ev.Quanta, prevQuanta)
+		}
+		prevQuanta = ev.Quanta
+	}
+	final := events[len(events)-1]
+	if final.Quanta != 5 || final.PagesMigrated != 4 || final.Detail != OutcomeComputed {
+		t.Errorf("terminal event = %+v", final)
+	}
+
+	info, _, ok := reg.Get(h.ID())
+	if !ok {
+		t.Fatal("finished run missing from the recent ring")
+	}
+	if info.State != RunDone || info.Outcome != OutcomeComputed || info.Quanta != 5 {
+		t.Errorf("info = %+v", info)
+	}
+	if len(info.Phases) != 4 { // queued, admitted, emulating, done
+		t.Errorf("phases = %+v, want 4", info.Phases)
+	}
+	for i, ph := range info.Phases[:len(info.Phases)-1] {
+		if ph.DurNs < 0 {
+			t.Errorf("phase %d has negative duration %d", i, ph.DurNs)
+		}
+	}
+	if info.EndUnixNano < info.StartUnixNano {
+		t.Errorf("run ends (%d) before it starts (%d)", info.EndUnixNano, info.StartUnixNano)
+	}
+
+	// Transitions after Finish are dropped.
+	h.Transition(RunLocal, "late")
+	if got, _, _ := reg.Get(h.ID()); got.State != RunDone {
+		t.Errorf("post-Finish transition applied: %+v", got)
+	}
+
+	// A failed run records the error and counts as failed.
+	h2 := reg.Begin("run", "CC", "key-b", "trace-2", "span-2", "")
+	h2.Finish("", errors.New("boom"))
+	if info, _, _ := reg.Get(h2.ID()); info.State != RunFailed || info.Error != "boom" {
+		t.Errorf("failed run = %+v", info)
+	}
+
+	// The recent ring is bounded at 2: a third finished run must evict
+	// the first.
+	h3 := reg.Begin("run", "ALS", "key-c", "trace-3", "span-3", "")
+	h3.Finish(OutcomeCoalesced, nil)
+	if _, _, ok := reg.Get(h.ID()); ok {
+		t.Error("oldest finished run still present past the ring bound")
+	}
+	if _, _, ok := reg.Get(h3.ID()); !ok {
+		t.Error("newest finished run missing")
+	}
+
+	sum := reg.Summary()
+	if sum.Started != 3 || sum.Done != 2 || sum.Failed != 1 || sum.Live != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+
+	// Forwarded runs are excluded from Active — the executing node owns
+	// the fleet-wide count.
+	h4 := reg.Begin("run", "PR", "key-d", "trace-4", "span-4", "")
+	h4.Transition(RunForwarded, "owner x")
+	h5 := reg.Begin("run", "CC", "key-e", "trace-5", "span-5", "")
+	h5.Transition(RunAdmitted, "")
+	sum = reg.Summary()
+	if sum.Forwarding != 1 || len(sum.Active) != 1 || sum.Active[0].ID != h5.ID() {
+		t.Errorf("summary with forwarded run = %+v", sum)
+	}
+	h4.Finish(OutcomeForwarded, nil)
+	h5.Finish(OutcomeComputed, nil)
+}
+
+// TestRunsEndpointsSingleNode drives one run through a standalone
+// server and checks the whole read surface: the /v1/runs listing with
+// filters and paging, the /v1/runs/{id} detail with phases and trace
+// deep-link, the /v1/runs/{id}/events history, and the
+// /v1/spans?trace= filter the detail links to.
+func TestRunsEndpointsSingleNode(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A migrating policy, so the run has policy quanta to observe — the
+	// default static policy never builds an engine.
+	req := RunRequest{App: "PR", Policy: "write-threshold"}
+	resp := postJSON(t, ts.URL+"/v1/run", req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run = %d", resp.StatusCode)
+	}
+	// Same spec again: served from cache, recorded as coalesced.
+	resp = postJSON(t, ts.URL+"/v1/run", req)
+	resp.Body.Close()
+
+	var listing runsListing
+	getJSON(t, ts.URL+"/v1/runs", &listing)
+	if listing.Total != 2 || len(listing.Runs) != 2 {
+		t.Fatalf("listing = %+v", listing)
+	}
+	// Newest first: the coalesced read precedes the computed run.
+	if listing.Runs[0].Outcome != OutcomeCoalesced || listing.Runs[1].Outcome != OutcomeComputed {
+		t.Errorf("outcomes = %s, %s", listing.Runs[0].Outcome, listing.Runs[1].Outcome)
+	}
+	computed := listing.Runs[1]
+	if computed.App != "PR" || computed.Key == "" || computed.Trace == "" || computed.State != RunDone {
+		t.Errorf("computed run = %+v", computed)
+	}
+	if computed.Quanta == 0 {
+		t.Error("computed run recorded no quantum progress")
+	}
+
+	// Paging mirrors /v1/results.
+	getJSON(t, ts.URL+"/v1/runs?limit=1&offset=1", &listing)
+	if listing.Total != 2 || listing.Count != 1 || listing.Runs[0].ID != computed.ID {
+		t.Errorf("paged listing = %+v", listing)
+	}
+	// Filters: key and state.
+	getJSON(t, ts.URL+"/v1/runs?state=done&key="+url.QueryEscape(computed.Key), &listing)
+	if listing.Total != 2 {
+		t.Errorf("filtered listing = %+v", listing)
+	}
+	getJSON(t, ts.URL+"/v1/runs?app=nope", &listing)
+	if listing.Total != 0 || listing.Runs == nil {
+		t.Errorf("empty filter listing = %+v (runs must be [], not null)", listing)
+	}
+
+	var detail struct {
+		Run    RunInfo    `json:"run"`
+		Events []RunEvent `json:"events"`
+	}
+	getJSON(t, ts.URL+"/v1/runs/"+computed.ID, &detail)
+	if detail.Run.ID != computed.ID || len(detail.Run.Phases) < 3 {
+		t.Fatalf("detail = %+v", detail.Run)
+	}
+	last := detail.Events[len(detail.Events)-1]
+	if last.State != RunDone || last.Quanta != computed.Quanta {
+		t.Errorf("terminal event = %+v", last)
+	}
+
+	// The events endpoint replays the same history for a finished run.
+	eresp, err := http.Get(ts.URL + "/v1/runs/" + computed.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	var states []RunState
+	sc := bufio.NewScanner(eresp.Body)
+	for sc.Scan() {
+		var ev RunEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		states = append(states, ev.State)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []RunState{RunQueued, RunAdmitted, RunLocal, RunEmulating, RunDone}
+	idx := 0
+	for _, st := range states {
+		if idx < len(wantOrder) && st == wantOrder[idx] {
+			idx++
+		}
+	}
+	if idx != len(wantOrder) {
+		t.Errorf("event states %v missing the lifecycle order %v", states, wantOrder)
+	}
+
+	// The trace deep-link: /v1/spans?trace= serves only this run's tree.
+	sresp, err := http.Get(ts.URL + "/v1/spans?trace=" + computed.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	spans := 0
+	names := map[string]bool{}
+	ssc := bufio.NewScanner(sresp.Body)
+	for ssc.Scan() {
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(ssc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad span line %q: %v", ssc.Text(), err)
+		}
+		if rec.Trace != computed.Trace {
+			t.Errorf("span %s from foreign trace %s", rec.Name, rec.Trace)
+		}
+		names[rec.Name] = true
+		spans++
+	}
+	if spans == 0 || !names["run"] || !names["emulate"] {
+		t.Errorf("trace filter returned %d spans (names %v), want the run's tree", spans, names)
+	}
+
+	// Unknown IDs are 404s on both detail and events.
+	for _, path := range []string{"/v1/runs/deadbeef00000000", "/v1/runs/deadbeef00000000/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestFleetStatusSingleNode: without a fabric the fleet document is
+// this one node, unreachable always present and empty.
+func TestFleetStatusSingleNode(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/run", RunRequest{App: "CC"})
+	resp.Body.Close()
+
+	var node NodeStatus
+	getJSON(t, ts.URL+"/v1/status", &node)
+	if node.Status != "ok" || node.Node != "local" || node.Runs.Started != 1 || node.Runs.Done != 1 {
+		t.Errorf("node status = %+v", node)
+	}
+	if node.Ring == nil {
+		t.Error("ring must be [], not null")
+	}
+
+	var fleet FleetStatus
+	getJSON(t, ts.URL+"/v1/fleet/status", &fleet)
+	if fleet.Fleet.Nodes != 1 || fleet.Fleet.Healthy != 1 || fleet.Fleet.Unreachable != 0 {
+		t.Errorf("fleet summary = %+v", fleet.Fleet)
+	}
+	if len(fleet.Nodes) != 1 || fleet.Nodes[0].Node != "local" {
+		t.Errorf("fleet nodes = %+v", fleet.Nodes)
+	}
+	if fleet.Unreachable == nil || len(fleet.Unreachable) != 0 {
+		t.Errorf("unreachable = %#v, want []", fleet.Unreachable)
+	}
+	if fleet.Fleet.Done != 1 {
+		t.Errorf("fleet done = %d, want 1", fleet.Fleet.Done)
+	}
+}
+
+// TestFleetStatusDegradesPerPeer: killing one node of a three-node
+// fleet degrades /v1/fleet/status to a partial document — the dead
+// peer moves to `unreachable`, the response stays 200 with the two
+// survivors merged. Never an error: the status plane follows the
+// fabric's degrade-to-local philosophy.
+func TestFleetStatusDegradesPerPeer(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+
+	var fleet FleetStatus
+	getJSON(t, nodes[0].url+"/v1/fleet/status", &fleet)
+	if fleet.Fleet.Nodes != 3 || fleet.Fleet.Healthy != 3 || len(fleet.Unreachable) != 0 {
+		t.Fatalf("healthy fleet = %+v unreachable=%v", fleet.Fleet, fleet.Unreachable)
+	}
+
+	nodes[2].ts.Close()
+	getJSON(t, nodes[0].url+"/v1/fleet/status", &fleet)
+	if fleet.Fleet.Healthy != 2 || fleet.Fleet.Unreachable != 1 {
+		t.Errorf("degraded fleet = %+v", fleet.Fleet)
+	}
+	if len(fleet.Unreachable) != 1 || fleet.Unreachable[0] != nodes[2].url {
+		t.Errorf("unreachable = %v, want [%s]", fleet.Unreachable, nodes[2].url)
+	}
+	for _, n := range fleet.Nodes {
+		if n.Node == nodes[2].url {
+			t.Errorf("dead node %s still listed in nodes", n.Node)
+		}
+	}
+}
+
+// TestFlightRecorderCluster is the PR's acceptance test: a sweep
+// driven through one node of a three-node fleet, whose single cell is
+// owned by a peer. The owning node's /v1/runs/{id}/events stream shows
+// the admitted → emulating → done lifecycle with monotonically
+// non-decreasing quantum counters, and while the run executes, the
+// entry node's /v1/fleet/status reports it exactly once fleet-wide
+// (the entry node's forwarded shadow record is not an active run).
+func TestFlightRecorderCluster(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	entry := nodes[0]
+
+	// Pick an app whose canonical key is owned by a peer, so the sweep
+	// cell forwards: entry holds the shadow record, the owner executes.
+	var (
+		app   string
+		key   string
+		owner *clusterNode
+	)
+	for _, spec := range hybridmem.NewSweep().Specs() {
+		s, p, err := entry.srv.resolve(RunRequest{App: spec.AppName, Policy: "write-threshold"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := p.SpecKey(s)
+		if ownerURL := entry.srv.fab.Owner(k); ownerURL != entry.url {
+			app, key = spec.AppName, k
+			for _, n := range nodes {
+				if n.url == ownerURL {
+					owner = n
+				}
+			}
+			break
+		}
+	}
+	if owner == nil {
+		t.Fatal("no app hashed to a peer; cannot exercise forwarding")
+	}
+
+	// Poll the entry node's fleet view for the whole test: every
+	// snapshot that sees the key's run must see it exactly once.
+	stopPolling := make(chan struct{})
+	pollDone := make(chan struct{})
+	var everSeen bool
+	var violations []string
+	go func() {
+		defer close(pollDone)
+		for {
+			select {
+			case <-stopPolling:
+				return
+			default:
+			}
+			resp, err := http.Get(entry.url + "/v1/fleet/status")
+			if err != nil {
+				continue
+			}
+			var fleet FleetStatus
+			err = json.NewDecoder(resp.Body).Decode(&fleet)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			seen := 0
+			for _, n := range fleet.Nodes {
+				for _, info := range n.Runs.Active {
+					if info.Key == key {
+						seen++
+					}
+				}
+			}
+			if seen > 0 {
+				everSeen = true
+			}
+			if seen > 1 {
+				violations = append(violations,
+					fmt.Sprintf("fleet status saw key %s active %d times", key, seen))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Drive the single-cell sweep through the entry node.
+	sweepDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(entry.url+"/v1/sweep", "application/json",
+			jsonBody(SweepRequest{Apps: []string{app}, Collectors: []string{"PCM-Only"},
+				Policies: []string{"write-threshold"}}))
+		if err != nil {
+			sweepDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			sweepDone <- fmt.Errorf("sweep = %d", resp.StatusCode)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var item SweepItem
+			if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+				sweepDone <- fmt.Errorf("bad sweep line: %w", err)
+				return
+			}
+			if item.Error != "" {
+				sweepDone <- fmt.Errorf("cell failed: %s", item.Error)
+				return
+			}
+		}
+		sweepDone <- sc.Err()
+	}()
+
+	// Discover the executing run on the owning node and tail its event
+	// stream. History replays on subscribe, so finding the run after
+	// any given transition still yields the full lifecycle.
+	var runID string
+	deadline := time.Now().Add(15 * time.Second)
+	for runID == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("run never appeared in the owner's registry")
+		}
+		var listing runsListing
+		getJSON(t, owner.url+"/v1/runs?kind=run&key="+url.QueryEscape(key), &listing)
+		if len(listing.Runs) > 0 {
+			runID = listing.Runs[0].ID
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	eresp, err := http.Get(owner.url + "/v1/runs/" + runID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	var events []RunEvent
+	esc := bufio.NewScanner(eresp.Body)
+	for esc.Scan() {
+		var ev RunEvent
+		if err := json.Unmarshal(esc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", esc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := esc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sweepDone; err != nil {
+		t.Fatal(err)
+	}
+	close(stopPolling)
+	<-pollDone
+
+	// The lifecycle order: admitted strictly before emulating strictly
+	// before done, with counters that never regress.
+	seq := map[RunState]int{}
+	prevQuanta := uint64(0)
+	for i, ev := range events {
+		if _, ok := seq[ev.State]; !ok {
+			seq[ev.State] = i
+		}
+		if ev.Quanta < prevQuanta {
+			t.Errorf("event %d quanta %d regressed below %d", i, ev.Quanta, prevQuanta)
+		}
+		if ev.Quanta > 0 {
+			prevQuanta = ev.Quanta
+		}
+	}
+	for _, st := range []RunState{RunAdmitted, RunEmulating, RunDone} {
+		if _, ok := seq[st]; !ok {
+			t.Fatalf("lifecycle state %s never observed; events: %+v", st, events)
+		}
+	}
+	if !(seq[RunAdmitted] < seq[RunEmulating] && seq[RunEmulating] < seq[RunDone]) {
+		t.Errorf("lifecycle out of order: admitted@%d emulating@%d done@%d",
+			seq[RunAdmitted], seq[RunEmulating], seq[RunDone])
+	}
+	final := events[len(events)-1]
+	if final.State != RunDone || final.Quanta == 0 {
+		t.Errorf("terminal event = %+v, want done with quantum progress", final)
+	}
+
+	// Exactly once, live: no fleet snapshot double-counted the run, and
+	// the poller did observe it mid-flight.
+	for _, v := range violations {
+		t.Error(v)
+	}
+	if !everSeen {
+		t.Error("fleet status never observed the run active (poll raced the whole compute?)")
+	}
+
+	// Exactly once, post-hoc: exactly one node fleet-wide holds a
+	// record for the key that actually emulated; the entry node's
+	// record is the forwarded shadow.
+	emulated := 0
+	for _, n := range nodes {
+		var listing runsListing
+		getJSON(t, n.url+"/v1/runs?key="+url.QueryEscape(key), &listing)
+		for _, info := range listing.Runs {
+			for _, ph := range info.Phases {
+				if ph.State == RunEmulating {
+					emulated++
+				}
+			}
+		}
+	}
+	if emulated != 1 {
+		t.Errorf("%d records fleet-wide show an emulating phase, want exactly 1", emulated)
+	}
+	var entryListing runsListing
+	getJSON(t, entry.url+"/v1/runs?key="+url.QueryEscape(key), &entryListing)
+	if len(entryListing.Runs) != 1 || entryListing.Runs[0].Outcome != OutcomeForwarded {
+		t.Errorf("entry node records = %+v, want one forwarded shadow", entryListing.Runs)
+	}
+}

@@ -22,7 +22,12 @@
 //	GET  /v1/results  durable-store listing with spec filters + paging
 //	GET  /v1/policies the placement policies the engine offers
 //	GET  /v1/trace    record a run and stream its placement trace (ndjson)
-//	GET  /v1/spans    recent run-lifecycle spans (ndjson, oldest first)
+//	GET  /v1/spans    recent run-lifecycle spans (ndjson, oldest first; ?trace= filters)
+//	GET  /v1/runs     flight recorder: live + recent run lifecycle records
+//	GET  /v1/runs/{id}         one run's record incl. per-phase timings
+//	GET  /v1/runs/{id}/events  live ndjson progress event stream
+//	GET  /v1/status   this node's status document (health + counters + runs)
+//	GET  /v1/fleet/status      fleet-wide status merged over every peer
 //	GET  /healthz     liveness
 //	GET  /v1/healthz  node identity, ring membership, queue depth
 //	GET  /metrics     counters, gauges, latency histograms (Prometheus text)
@@ -89,6 +94,9 @@ type Config struct {
 	// Logger receives the server's structured logs. Nil falls back to
 	// slog.Default() with a node attribute.
 	Logger *slog.Logger
+	// RecentRuns bounds the flight recorder's ring of finished runs
+	// served by GET /v1/runs (0 = 256).
+	RecentRuns int
 }
 
 // Server routes the hybridserved API onto one shared Platform. It is
@@ -101,6 +109,8 @@ type Server struct {
 	mux      *http.ServeMux
 	tel      *obs.Telemetry
 	log      *slog.Logger
+	runs     *RunRegistry   // the node's flight recorder
+	probe    *http.Client   // fleet-status fan-out probe
 	runSec   *obs.Histogram // /v1/run request latency
 	sweepSec *obs.Histogram // /v1/sweep request latency
 	inflight atomic.Int64
@@ -155,14 +165,16 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = slog.Default().With("node", node)
 	}
-	tel := &obs.Telemetry{Node: node, Metrics: reg, Tracer: tracer, Logger: logger}
+	runs := NewRunRegistry(node, cfg.RecentRuns)
+	tel := &obs.Telemetry{Node: node, Metrics: reg, Tracer: tracer, Logger: logger, Runs: runs}
 	// Attach telemetry before the eager store open so the store tier is
 	// instrumented from its first byte of replay.
 	p = p.With(hybridmem.WithTelemetry(tel))
 	if _, err := p.Store(); err != nil {
 		return nil, err
 	}
-	s := &Server{p: p, adm: jobs.NewAdmission(n, q), fab: cfg.Fabric, node: node, mux: http.NewServeMux(), tel: tel, log: logger}
+	s := &Server{p: p, adm: jobs.NewAdmission(n, q), fab: cfg.Fabric, node: node, mux: http.NewServeMux(), tel: tel, log: logger,
+		runs: runs, probe: &http.Client{Timeout: statusProbeTimeout}}
 	lbl := obs.Labels{"node": node}
 	s.runSec = reg.Histogram("hybridserved_run_seconds",
 		"Latency of /v1/run requests (including forwards).", lbl, nil)
@@ -181,6 +193,11 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/spans", s.handleSpans)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunDetail)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/fleet/status", s.handleFleetStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleNodeHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -352,47 +369,60 @@ func record(p *hybridmem.Platform, spec hybridmem.RunSpec, res hybridmem.Result)
 // store read, or a join onto in-flight work — counts as coalesced, so
 // N identical requests always report exactly N-1 coalesced however the
 // race between them resolves.
-func (s *Server) runLocal(ctx context.Context, p *hybridmem.Platform, spec hybridmem.RunSpec) (store.Record, error) {
+//
+// The flight-recorder handle h tracks the run's lifecycle; the
+// returned outcome string is what the caller passes to h.Finish.
+func (s *Server) runLocal(ctx context.Context, h *RunHandle, p *hybridmem.Platform, spec hybridmem.RunSpec) (store.Record, string, error) {
 	parent := obs.SpanContextFrom(ctx)
 	lookupStart := time.Now()
 	if res, ok := p.Peek(spec); ok {
 		s.tel.Tracer.Emit(parent, "cache.lookup", lookupStart, time.Since(lookupStart),
 			map[string]string{"hit": "true"})
 		s.coalesced.Add(1)
-		return record(p, spec, res)
+		rec, err := record(p, spec, res)
+		return rec, OutcomeCoalesced, err
 	}
 	s.tel.Tracer.Emit(parent, "cache.lookup", lookupStart, time.Since(lookupStart),
 		map[string]string{"hit": "false"})
 	if p.Joinable(spec) {
 		// The compute's slot is held by the request that started it.
+		h.Transition(RunLocal, "joining in-flight run")
 		res, computed, err := p.RunShared(ctx, spec)
 		if err != nil {
-			return store.Record{}, err
+			return store.Record{}, "", err
 		}
+		outcome := OutcomeComputed
 		if !computed {
 			s.coalesced.Add(1)
+			outcome = OutcomeCoalesced
 		}
-		return record(p, spec, res)
+		rec, err := record(p, spec, res)
+		return rec, outcome, err
 	}
 	release, err := s.adm.Acquire(ctx)
 	if err != nil {
-		return store.Record{}, err
+		return store.Record{}, "", err
 	}
+	h.Transition(RunAdmitted, "")
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
 		release()
 	}()
+	h.Transition(RunLocal, "")
 	res, computed, err := p.RunShared(ctx, spec)
 	if err != nil {
-		return store.Record{}, err
+		return store.Record{}, "", err
 	}
+	outcome := OutcomeComputed
 	if !computed {
 		// Lost the Peek/Joinable race to an identical request: the
 		// single-flight group served us its compute.
 		s.coalesced.Add(1)
+		outcome = OutcomeCoalesced
 	}
-	return record(p, spec, res)
+	rec, err := record(p, spec, res)
+	return rec, outcome, err
 }
 
 // dispatch routes one run to the node owning its canonical key. Without
@@ -401,24 +431,29 @@ func (s *Server) runLocal(ctx context.Context, p *hybridmem.Platform, spec hybri
 // past the retry budget, a non-200 response, a torn body) degrades to
 // local execution: the fleet loses sharding efficiency for that key,
 // never the run.
-func (s *Server) dispatch(ctx context.Context, forwardedIn bool, p *hybridmem.Platform, spec hybridmem.RunSpec, wire RunRequest) (store.Record, error) {
+func (s *Server) dispatch(ctx context.Context, h *RunHandle, forwardedIn bool, p *hybridmem.Platform, spec hybridmem.RunSpec, wire RunRequest) (store.Record, string, error) {
 	if s.fab == nil || forwardedIn {
-		return s.runLocal(ctx, p, spec)
+		return s.runLocal(ctx, h, p, spec)
 	}
 	owner := s.fab.Owner(p.SpecKey(spec))
 	if owner == s.fab.Self() {
-		return s.runLocal(ctx, p, spec)
+		return s.runLocal(ctx, h, p, spec)
 	}
 	// A locally known result needs no network hop, wherever the key
 	// lives on the ring.
 	if res, ok := p.Peek(spec); ok {
 		s.coalesced.Add(1)
-		return record(p, spec, res)
+		rec, err := record(p, spec, res)
+		return rec, OutcomeCoalesced, err
 	}
 	body, err := json.Marshal(wire)
 	if err != nil {
-		return store.Record{}, err
+		return store.Record{}, "", err
 	}
+	// Forwarded runs leave this node's active set: the owner's own
+	// flight recorder carries the executing record, so fleet-wide
+	// aggregation counts the run exactly once.
+	h.Transition(RunForwarded, "owner "+owner)
 	// The forward span's context rides the request to the owner as a
 	// traceparent header, so the owner's spans join this trace.
 	fctx, fsp := s.tel.Tracer.Start(ctx, "fabric.forward")
@@ -428,11 +463,12 @@ func (s *Server) dispatch(ctx context.Context, forwardedIn bool, p *hybridmem.Pl
 		fsp.SetAttr("outcome", "transport-error")
 		fsp.End()
 		if ctx.Err() != nil {
-			return store.Record{}, ctx.Err()
+			return store.Record{}, "", ctx.Err()
 		}
 		s.degraded.Add(1)
+		h.Degraded()
 		s.log.Warn("forward degraded to local run", "owner", owner, "key", p.SpecKey(spec), "err", err)
-		return s.runLocal(ctx, p, spec)
+		return s.runLocal(ctx, h, p, spec)
 	}
 	fsp.SetAttr("status", strconv.Itoa(resp.Status))
 	fsp.End()
@@ -441,17 +477,19 @@ func (s *Server) dispatch(ctx context.Context, forwardedIn bool, p *hybridmem.Pl
 		// mid-upgrade): this node already validated the request, so run
 		// it here under its own admission control instead.
 		s.degraded.Add(1)
+		h.Degraded()
 		s.log.Warn("owner refused forward; running locally", "owner", owner, "status", resp.Status)
-		return s.runLocal(ctx, p, spec)
+		return s.runLocal(ctx, h, p, spec)
 	}
 	var rec store.Record
 	if err := json.Unmarshal(resp.Body, &rec); err != nil {
 		s.degraded.Add(1)
+		h.Degraded()
 		s.log.Warn("torn forward response; running locally", "owner", owner, "err", err)
-		return s.runLocal(ctx, p, spec)
+		return s.runLocal(ctx, h, p, spec)
 	}
 	s.forwarded.Add(1)
-	return rec, nil
+	return rec, OutcomeForwarded, nil
 }
 
 // failRun maps a run error onto the wire, translating admission
@@ -495,11 +533,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if forwardedIn {
 		sp.SetAttr("forwarded", "true")
 	}
-	rec, err := s.dispatch(ctx, forwardedIn, p, spec, req)
+	// The flight recorder keys the run's record by the serve span's ID:
+	// that is the ObsParent the emulator core reports progress under,
+	// so emulating/quantum callbacks route straight to this record.
+	h := s.runs.Begin("run", spec.AppName, key, sp.Context().TraceID, sp.Context().SpanID,
+		r.Header.Get(fabric.ForwardHeader))
+	rec, outcome, err := s.dispatch(ctx, h, forwardedIn, p, spec, req)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}
 	sp.End()
+	h.Finish(outcome, err)
 	s.runSec.Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.log.Warn("run failed", "app", spec.AppName, "key", key,
@@ -646,6 +690,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, sp := s.tel.Tracer.Start(ctx, "sweep")
 	sp.SetAttr("cells", strconv.Itoa(len(cells)))
+	// The sweep parent tracks grid completion; each cell gets its own
+	// flight-recorder record (and its own "run" span, so the core's
+	// progress callbacks route per cell, not per sweep).
+	sh := s.runs.Begin("sweep", "", "", sp.Context().TraceID, sp.Context().SpanID, "")
+	sh.SetCells(len(cells))
+	sh.Transition(RunAdmitted, "")
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -692,7 +742,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					Policy:    c.policy,
 					Native:    c.spec.Native,
 				}
-				rec, err := s.dispatch(ctx, false, c.p, c.spec, wire)
+				key := c.p.SpecKey(c.spec)
+				cctx, csp := s.tel.Tracer.Start(ctx, "run")
+				csp.SetAttr("app", c.spec.AppName)
+				csp.SetAttr("key", key)
+				csp.SetAttr("cell", strconv.Itoa(i))
+				ch := s.runs.Begin("run", c.spec.AppName, key, csp.Context().TraceID, csp.Context().SpanID, "")
+				rec, outcome, err := s.dispatch(cctx, ch, false, c.p, c.spec, wire)
+				if err != nil {
+					csp.SetAttr("error", err.Error())
+				}
+				csp.End()
+				ch.Finish(outcome, err)
+				sh.CellDone()
 				if err != nil {
 					// Per-item failures stay in-stream: the rest of the
 					// grid keeps going, the client sees which cell broke.
@@ -705,6 +767,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	sp.End()
+	sh.Finish("", nil)
 	s.sweepSec.Observe(time.Since(start).Seconds())
 	s.log.Debug("sweep served", "cells", len(cells),
 		"trace", sp.Context().TraceID, "seconds", time.Since(start).Seconds())
@@ -769,10 +832,16 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		fail(w, httpStatus(err), err)
 		return
 	}
+	ctx, sp := s.tel.Tracer.Start(r.Context(), "trace")
+	sp.SetAttr("app", spec.AppName)
+	defer sp.End()
+	h := s.runs.Begin("trace", spec.AppName, p.SpecKey(spec),
+		sp.Context().TraceID, sp.Context().SpanID, "")
 	// Tracing always computes, so it always takes a slot — there is no
 	// cached read or joinable flight to exempt.
-	release, err := s.adm.Acquire(r.Context())
+	release, err := s.adm.Acquire(ctx)
 	if err != nil {
+		h.Finish("", err)
 		if errors.Is(err, jobs.ErrOverloaded) {
 			s.failRun(w, err)
 			return
@@ -780,6 +849,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	h.Transition(RunAdmitted, "")
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
@@ -789,12 +859,16 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	h.Transition(RunLocal, "")
 	tp := p.With(hybridmem.WithTrace(flushWriter{w: w, f: flusher}))
-	if _, err := tp.Run(r.Context(), spec); err != nil {
+	if _, err := tp.Run(ctx, spec); err != nil {
 		// The 200 and (likely) the trace header are already on the
 		// wire; all that is left is to stop extending the stream.
 		s.log.Error("trace run failed mid-stream", "app", spec.AppName, "err", err)
+		h.Finish("", err)
+		return
 	}
+	h.Finish(OutcomeComputed, nil)
 }
 
 // AutotuneGrid is the wire form of a knob grid: the cartesian product
@@ -875,9 +949,15 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%w: native runs have no policy quanta to autotune", errBadRequest))
 		return
 	}
+	ctx, sp := s.tel.Tracer.Start(r.Context(), "autotune")
+	sp.SetAttr("app", spec.AppName)
+	defer sp.End()
+	h := s.runs.Begin("autotune", spec.AppName, p.SpecKey(spec),
+		sp.Context().TraceID, sp.Context().SpanID, "")
 	// The traced recording always computes, so it always takes a slot.
-	release, err := s.adm.Acquire(r.Context())
+	release, err := s.adm.Acquire(ctx)
 	if err != nil {
+		h.Finish("", err)
 		if errors.Is(err, jobs.ErrOverloaded) {
 			s.failRun(w, err)
 			return
@@ -885,6 +965,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	h.Transition(RunAdmitted, "")
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
@@ -892,11 +973,14 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	var trc bytes.Buffer
-	if _, err := p.With(hybridmem.WithTrace(&trc)).Run(r.Context(), spec); err != nil {
+	h.Transition(RunLocal, "")
+	if _, err := p.With(hybridmem.WithTrace(&trc)).Run(ctx, spec); err != nil {
+		h.Finish("", err)
 		fail(w, httpStatus(err), err)
 		return
 	}
-	rep, err := hybridmem.Autotune(r.Context(), &trc, grid)
+	h.Finish(OutcomeComputed, nil)
+	rep, err := hybridmem.Autotune(ctx, &trc, grid)
 	if err != nil {
 		// The recording is in memory and freshly written; corruption
 		// here is a server bug, not client input.
@@ -1074,9 +1158,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSpans serves GET /v1/spans: the tracer's most recent finished
-// spans as ndjson, oldest first, capped by ?limit=. The ring holds a
-// bounded window — scrape it after the runs of interest, or start the
-// daemon with -spans FILE for a complete record.
+// spans as ndjson, oldest first, capped by ?limit=. ?trace=<id> keeps
+// only one trace's spans — the deep link /v1/runs/{id} hands out, so a
+// client can pull exactly one run's span tree without filtering client
+// side (?limit= then caps the window *scanned*, not the matches). The
+// ring holds a bounded window — scrape it after the runs of interest,
+// or start the daemon with -spans FILE for a complete record.
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	limit := 0
 	if v := r.URL.Query().Get("limit"); v != "" {
@@ -1088,9 +1175,13 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	trace := r.URL.Query().Get("trace")
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	for _, rec := range s.tel.Tracer.Recent(limit) {
+		if trace != "" && rec.Trace != trace {
+			continue
+		}
 		enc.Encode(rec)
 	}
 }

@@ -2,10 +2,36 @@ package hybridmem
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"repro/internal/obs"
 )
+
+// countingRunObserver is a minimal flight-recorder observer: it counts
+// milestones and checks counter monotonicity, standing in for the
+// serving layer's run registry.
+type countingRunObserver struct {
+	mu        sync.Mutex
+	emulating int
+	quanta    uint64
+	monotonic bool
+}
+
+func (o *countingRunObserver) RunEmulating(parent obs.SpanContext) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.emulating++
+}
+
+func (o *countingRunObserver) RunQuantum(parent obs.SpanContext, quanta, actions, pagesMigrated uint64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if quanta < o.quanta {
+		o.monotonic = false
+	}
+	o.quanta = quanta
+}
 
 // TestTelemetryIsSideChannel enforces the telemetry subsystem's core
 // invariant: attaching WithTelemetry changes nothing observable about
@@ -22,7 +48,10 @@ func TestTelemetryIsSideChannel(t *testing.T) {
 	plain := New(WithScale(Quick), WithPolicy(WriteThreshold))
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer("test")
-	tel := &obs.Telemetry{Node: "test", Metrics: reg, Tracer: tracer}
+	// A run observer (the flight-recorder seam) must be just as
+	// side-channel as metrics and spans.
+	runs := &countingRunObserver{monotonic: true}
+	tel := &obs.Telemetry{Node: "test", Metrics: reg, Tracer: tracer, Runs: runs}
 	instr := New(WithScale(Quick), WithPolicy(WriteThreshold), WithTelemetry(tel))
 
 	if pk, ik := plain.SpecKey(spec), instr.SpecKey(spec); pk != ik {
@@ -77,6 +106,19 @@ func TestTelemetryIsSideChannel(t *testing.T) {
 		if sp.Trace != emulate.Trace {
 			t.Errorf("span %s in trace %s, want all spans in %s", sp.Name, sp.Trace, emulate.Trace)
 		}
+	}
+
+	// The observer saw the run's milestones: one emulating callback,
+	// cumulative quantum counters that never regressed, and a final
+	// count matching the quantum span count.
+	if runs.emulating != 1 {
+		t.Errorf("RunEmulating fired %d times, want 1", runs.emulating)
+	}
+	if !runs.monotonic {
+		t.Error("RunQuantum counters regressed")
+	}
+	if runs.quanta != uint64(quanta) {
+		t.Errorf("observer saw %d quanta, tracer saw %d quantum spans", runs.quanta, quanta)
 	}
 }
 
