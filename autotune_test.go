@@ -7,6 +7,8 @@ import (
 	"os"
 	"reflect"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // readGoldenTrace loads the committed PR/KG-N write-threshold trace
@@ -172,13 +174,41 @@ func TestAutotuneRecommendedMatchesLive(t *testing.T) {
 	}
 }
 
+// transcodeK1 re-encodes a trace with keyframe interval 1 and no
+// footer — the streaming shape — so appended garbage lands as a torn
+// tail and the prefix-replay contract keeps every complete record
+// (at interval 1, every keyframe interval is one record).
+func transcodeK1(t *testing.T, data []byte) []byte {
+	t.Helper()
+	h, quanta, err := trace.DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.KeyframeInterval = 1
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range quanta {
+		rec.OnQuantum(q.Proc, q.View, q.Actions, q.Exec)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // TestAutotuneCorruptTraceReturnsPrefixReport mirrors policyreplay's
 // corruption contract: a garbage tail truncates every grid point at
 // the same line, the prefix report is still produced (internally
-// comparable), and the error is ErrTraceCorrupt.
+// comparable), and the error is ErrTraceCorrupt. The golden is
+// transcoded to keyframe interval 1 first: at the recorder's default
+// interval a torn chain rolls the prefix back to the last complete
+// keyframe interval, which for a two-quantum trace is empty.
 func TestAutotuneCorruptTraceReturnsPrefixReport(t *testing.T) {
 	data := readGoldenTrace(t)
-	corrupt := append(append([]byte{}, data...), []byte("{torn")...)
+	corrupt := append(transcodeK1(t, data), []byte("{torn")...)
 	rep, err := Autotune(context.Background(), bytes.NewReader(corrupt),
 		KnobGrid{Policy: WriteThreshold, HotWriteLines: []uint64{256, 3000}})
 	if !errors.Is(err, ErrTraceCorrupt) {
@@ -198,7 +228,7 @@ func TestAutotuneCorruptTraceReturnsPrefixReport(t *testing.T) {
 // must reject the whole search before any point is priced.
 func TestAutotuneVersionSkewFailsUpFront(t *testing.T) {
 	data := readGoldenTrace(t)
-	skewed := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{"version":99,`), 1)
+	skewed := bytes.Replace(data, []byte(`{"version":2,`), []byte(`{"version":99,`), 1)
 	rep, err := Autotune(context.Background(), bytes.NewReader(skewed),
 		KnobGrid{Policy: WriteThreshold})
 	if !errors.Is(err, ErrTraceVersion) {

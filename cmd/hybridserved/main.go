@@ -11,7 +11,7 @@
 //	             [-max-queued N] [-drain 30s]
 //	             [-node URL -peers URL,URL,...]
 //	             [-log-format text|json] [-spans FILE]
-//	             [-debug-addr 127.0.0.1:6060]
+//	             [-debug-addr 127.0.0.1:6060] [-trace-library DIR]
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (streams ndjson),
 // GET /v1/results, GET /v1/policies, GET /v1/spans, GET /v1/runs,
@@ -56,6 +56,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/trace/library"
 )
 
 func main() {
@@ -71,6 +72,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	spansPath := flag.String("spans", "", "append finished run-lifecycle spans to this ndjson file")
+	traceLib := flag.String("trace-library", "", "compacted trace library directory: GET /v1/trace and POST /v1/autotune serve from it and warm it (empty = off)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; keep it private)")
 	flag.Parse()
 
@@ -132,6 +134,14 @@ func main() {
 	cfg := serve.Config{MaxInFlight: *maxInflight, MaxQueued: *maxQueued, Fabric: fab, Logger: log}
 	if spanSink != nil {
 		cfg.SpanSink = spanSink
+	}
+	if *traceLib != "" {
+		lib, err := library.Open(*traceLib)
+		if err != nil {
+			fail(fmt.Errorf("opening -trace-library: %w", err))
+		}
+		cfg.TraceLibrary = lib
+		log.Info("trace library open", "dir", lib.Dir(), "traces", lib.Len())
 	}
 	srv, err := serve.New(p, cfg)
 	if err != nil {

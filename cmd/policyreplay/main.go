@@ -95,6 +95,13 @@ func main() {
 	}
 	fmt.Printf("trace: %s/%s x%d (%s, %s, seed %d), recorded policy %s\n",
 		hdr.App, lang, hdr.Instances, hdr.Dataset, hdr.Mode, hdr.Seed, hdr.Policy)
+	if _, quanta, derr := trace.DecodeAll(bytes.NewReader(data)); len(quanta) > 0 {
+		if exp := trace.ExpandedSize(hdr, quanta); exp > len(data) {
+			fmt.Printf("compaction: %d bytes on disk, %d expanded (%.1fx, keyframe interval %d)\n",
+				len(data), exp, float64(exp)/float64(len(data)), hdr.KeyframeInterval)
+		}
+		_ = derr // a torn tail is reported per policy below
+	}
 
 	corrupt := false
 	fmt.Printf("%-16s %8s %8s %10s %14s %14s %8s %s\n",

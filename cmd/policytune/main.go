@@ -130,6 +130,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "trace: %s/%s x%d (%s, %s, seed %d), recorded policy %s\n",
 		hdr.App, lang, hdr.Instances, hdr.Dataset, hdr.Mode, hdr.Seed, hdr.Policy)
+	if _, quanta, _ := trace.DecodeAll(bytes.NewReader(data)); len(quanta) > 0 {
+		if exp := trace.ExpandedSize(hdr, quanta); exp > len(data) {
+			fmt.Fprintf(stdout, "compaction: %d bytes on disk, %d expanded (%.1fx, keyframe interval %d)\n",
+				len(data), exp, float64(exp)/float64(len(data)), hdr.KeyframeInterval)
+		}
+	}
 
 	rep, runErr := hybridmem.Autotune(context.Background(), bytes.NewReader(data), grid)
 	if runErr != nil && !errors.Is(runErr, hybridmem.ErrTraceCorrupt) {

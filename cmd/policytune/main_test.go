@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // goldenTrace is the committed quick-scale GraphChi trace the facade's
@@ -75,7 +77,7 @@ func TestVersionSkewExits2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	skewed := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{"version":99,`), 1)
+	skewed := bytes.Replace(data, []byte(`{"version":2,`), []byte(`{"version":99,`), 1)
 	path := filepath.Join(t.TempDir(), "skewed.ndjson")
 	if err := os.WriteFile(path, skewed, 0o644); err != nil {
 		t.Fatal(err)
@@ -90,8 +92,24 @@ func TestCorruptTraceExits1WithPartialFrontier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Transcode to keyframe interval 1 without a footer (the streaming
+	// shape) so the appended garbage is a torn tail and the rollback
+	// contract keeps both complete records as the prefix.
+	h, quanta, err := trace.DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.KeyframeInterval = 1
+	var k1 bytes.Buffer
+	rec, err := trace.NewRecorder(&k1, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range quanta {
+		rec.OnQuantum(q.Proc, q.View, q.Actions, q.Exec)
+	}
 	path := filepath.Join(t.TempDir(), "torn.ndjson")
-	if err := os.WriteFile(path, append(data, []byte("{torn")...), 0o644); err != nil {
+	if err := os.WriteFile(path, append(k1.Bytes(), []byte("{torn")...), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	code, out, errOut := tune(t, "-trace", path, "-hot", "2100,3000")

@@ -102,6 +102,12 @@ type Options struct {
 	// TraceKey is the canonical spec key stamped into the trace header
 	// (the facade fills it; empty below the facade).
 	TraceKey string
+	// Cancel, when non-nil, aborts the run between scheduling quanta
+	// once closed (pass a context's Done channel). A cancelled run
+	// returns kernel.ErrCancelled and no Result; the facade maps it
+	// back to the context's error. Streaming servers use this to stop
+	// emulating into a client that hung up.
+	Cancel <-chan struct{}
 	// EdgeOverride shrinks GraphChi datasets for tests (0 = paper
 	// scale). It is applied via the registry's test hooks.
 	AppFactory func(name string) workloads.App
@@ -445,6 +451,7 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 	rc := kernel.RunConfig{
 		QuantumCycles:  opts.QuantumCycles,
 		ThreadsPerProc: 4, // the paper: four application threads each
+		Cancel:         opts.Cancel,
 		OnQuantum:      mon.OnQuantum,
 		OnBarrier: func() {
 			// Replay methodology: the measured iteration starts here
@@ -498,10 +505,11 @@ func Run(opts Options, spec RunSpec) (Result, error) {
 		}
 	}
 	if rec != nil {
-		// A trace was asked for; a sink that stopped accepting writes
+		// A trace was asked for: finish it with the footer index so
+		// readers can seek it. A sink that stopped accepting writes
 		// mid-run fails the run rather than silently shipping a
 		// truncated trace.
-		if err := rec.Err(); err != nil {
+		if err := rec.Close(); err != nil {
 			return Result{}, err
 		}
 	}

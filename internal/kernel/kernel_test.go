@@ -428,3 +428,62 @@ func TestMovePagesRotationChangesFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCancelStopsScheduling pins the cooperative cancellation
+// contract: closing RunConfig.Cancel stops the session between quanta,
+// every process goroutine unwinds (no leaks — asserted by the -race
+// run's goroutine accounting and by the run returning at all), and Run
+// reports ErrCancelled.
+func TestCancelStopsScheduling(t *testing.T) {
+	k := New(testMachine(), simOS())
+	cancel := make(chan struct{})
+	endless := k.NewProcess("endless", 0, func(p *Process) {
+		for {
+			p.Compute(50_000)
+		}
+	})
+	// A second endless process: after the cancel fires, both must come
+	// back finished even though neither body ever returns.
+	endless2 := k.NewProcess("endless2", 0, func(p *Process) {
+		for {
+			p.Compute(50_000)
+		}
+	})
+	quanta := 0
+	err := k.Run([]*Process{endless, endless2}, RunConfig{
+		QuantumCycles: 40_000,
+		Cancel:        cancel,
+		OnQuantum: func(float64) {
+			// Fires on the scheduler goroutine between timeslices —
+			// exactly where the cancellation check runs.
+			if quanta++; quanta == 3 {
+				close(cancel)
+			}
+		},
+	})
+	if err != ErrCancelled {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	for _, p := range []*Process{endless, endless2} {
+		if p.state != procFinished {
+			t.Errorf("process %s state = %v after cancel, want finished", p.Name, p.state)
+		}
+	}
+}
+
+// TestNilCancelRunsToCompletion guards the default path: a RunConfig
+// without a Cancel channel behaves exactly as before.
+func TestNilCancelRunsToCompletion(t *testing.T) {
+	k := New(testMachine(), simOS())
+	done := false
+	p := k.NewProcess("t", 0, func(p *Process) {
+		p.Compute(200_000)
+		done = true
+	})
+	if err := k.RunSolo(p, RunConfig{QuantumCycles: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("body did not finish")
+	}
+}

@@ -1,10 +1,16 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/machine"
 )
+
+// ErrCancelled reports a scheduling session stopped by RunConfig.Cancel
+// before every process finished. The run's partial state is meaningless
+// — callers abandon the result, they don't read it.
+var ErrCancelled = errors.New("kernel: run cancelled")
 
 // procState tracks where a process is in its lifecycle.
 type procState int
@@ -37,6 +43,7 @@ type Process struct {
 	yielded    chan struct{}
 	err        error
 	started    bool
+	cancelled  bool // set by the scheduler; the next yield unwinds
 }
 
 // NewProcess creates a process bound to the given socket. Cores are
@@ -196,6 +203,12 @@ func (p *Process) maybeYield() {
 func (p *Process) yieldNow() {
 	p.yielded <- struct{}{}
 	<-p.grant
+	if p.cancelled {
+		// Unwind the body through the panic path: run()'s deferred
+		// recover marks the process finished and hands the token back,
+		// so a cancelled session leaks no goroutines.
+		panic(ErrCancelled)
+	}
 	p.sliceStart = p.Th.Cycles()
 }
 
@@ -234,6 +247,12 @@ type RunConfig struct {
 	// OnBarrier, if set, runs when all live processes reach a
 	// Barrier, before they are released.
 	OnBarrier func()
+	// Cancel, when non-nil, stops the session between quanta once it
+	// is closed (a context.Done channel fits). Every live process is
+	// unwound cooperatively — no goroutine outlives the run — and Run
+	// returns ErrCancelled. Cancellation is checked at quantum
+	// granularity: a process finishes its current timeslice first.
+	Cancel <-chan struct{}
 }
 
 // Run schedules the processes until all have finished, picking the
@@ -276,7 +295,40 @@ func (k *Kernel) Run(procs []*Process, rc RunConfig) error {
 	}
 	updateLoad()
 
+	cancelled := func() bool {
+		if rc.Cancel == nil {
+			return false
+		}
+		select {
+		case <-rc.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
+
 	for live() > 0 {
+		if cancelled() {
+			// Wind every live process down before returning: started
+			// ones are granted one last token and unwind via the
+			// yieldNow panic; unstarted ones never ran and are marked
+			// finished directly.
+			for _, p := range procs {
+				if p.state == procFinished {
+					continue
+				}
+				if !p.started {
+					p.state = procFinished
+					p.err = ErrCancelled
+					continue
+				}
+				p.cancelled = true
+				p.grant <- struct{}{}
+				<-p.yielded
+			}
+			updateLoad()
+			return ErrCancelled
+		}
 		// Pick the runnable (or not-yet-started) process with the
 		// smallest clock; ties break by PID for determinism.
 		var next *Process

@@ -80,6 +80,10 @@ const (
 	OutcomeCoalesced = "coalesced"
 	// OutcomeForwarded: served by the ring owner's response.
 	OutcomeForwarded = "forwarded"
+	// OutcomeLibrary: served from the compacted trace library without
+	// touching the emulator (a /v1/trace read or an autotune grid
+	// priced against a resident trace).
+	OutcomeLibrary = "library"
 )
 
 // RunPhase is one visited lifecycle state with its timing.

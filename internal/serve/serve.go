@@ -61,6 +61,7 @@ import (
 	"repro/internal/fabric/jobs"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/trace/library"
 )
 
 // Config parameterizes a Server.
@@ -97,6 +98,12 @@ type Config struct {
 	// RecentRuns bounds the flight recorder's ring of finished runs
 	// served by GET /v1/runs (0 = 256).
 	RecentRuns int
+	// TraceLibrary, when non-nil, is the node's compacted trace store:
+	// GET /v1/trace serves resident traces from it without emulating
+	// (and ingests freshly recorded ones into it), and POST
+	// /v1/autotune prices grids against resident traces instead of
+	// re-recording. hybridserved wires it up with -trace-library.
+	TraceLibrary *library.Library
 }
 
 // Server routes the hybridserved API onto one shared Platform. It is
@@ -109,12 +116,18 @@ type Server struct {
 	mux      *http.ServeMux
 	tel      *obs.Telemetry
 	log      *slog.Logger
-	runs     *RunRegistry   // the node's flight recorder
-	probe    *http.Client   // fleet-status fan-out probe
-	runSec   *obs.Histogram // /v1/run request latency
-	sweepSec *obs.Histogram // /v1/sweep request latency
+	runs     *RunRegistry     // the node's flight recorder
+	lib      *library.Library // nil = no trace library
+	probe    *http.Client     // fleet-status fan-out probe
+	runSec   *obs.Histogram   // /v1/run request latency
+	sweepSec *obs.Histogram   // /v1/sweep request latency
 	inflight atomic.Int64
 	requests atomic.Uint64
+
+	// Trace-library counters: requests answered from a resident trace
+	// vs requests that fell through to a live emulation.
+	libHits   atomic.Uint64
+	libMisses atomic.Uint64
 
 	// Fabric counters (also maintained single-node, where coalesced
 	// still counts requests served without a fresh compute).
@@ -174,7 +187,7 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{p: p, adm: jobs.NewAdmission(n, q), fab: cfg.Fabric, node: node, mux: http.NewServeMux(), tel: tel, log: logger,
-		runs: runs, probe: &http.Client{Timeout: statusProbeTimeout}}
+		runs: runs, lib: cfg.TraceLibrary, probe: &http.Client{Timeout: statusProbeTimeout}}
 	lbl := obs.Labels{"node": node}
 	s.runSec = reg.Histogram("hybridserved_run_seconds",
 		"Latency of /v1/run requests (including forwards).", lbl, nil)
@@ -246,6 +259,17 @@ func (s *Server) registerMetrics(reg *obs.Registry, lbl obs.Labels) {
 		func() float64 { return float64(s.coalesced.Load()) })
 	counter("fabric_degraded_total", "Forwards abandoned for local execution.",
 		func() float64 { return float64(s.degraded.Load()) })
+	if s.lib != nil {
+		counter("hybridserved_trace_library_hits_total",
+			"Trace and autotune requests served from the compacted trace library.",
+			func() float64 { return float64(s.libHits.Load()) })
+		counter("hybridserved_trace_library_misses_total",
+			"Trace and autotune requests that fell through to a live emulation.",
+			func() float64 { return float64(s.libMisses.Load()) })
+		gauge("hybridserved_trace_library_traces",
+			"Traces resident in the compacted trace library.",
+			func() float64 { return float64(s.lib.Len()) })
+	}
 	reg.GaugeFunc("hybridserved_build_info",
 		"Build identity of this node; the value is always 1.",
 		obs.Labels{"node": s.node, "goversion": runtime.Version()},
@@ -789,19 +813,29 @@ func (fw flushWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// handleTrace serves GET /v1/trace: it runs the experiment selected by
-// the query parameters (?app=, ?collector=, ?instances=, ?dataset=,
-// ?mode=, ?policy=, ?native=) with a trace recorder attached and
-// streams the versioned ndjson trace — header line, then one record
-// per policy quantum — as the run produces it. Feed the stream to
-// cmd/policyreplay (or hybridmem.ReplayTrace) to prototype policies
+// handleTrace serves GET /v1/trace: the compacted placement trace of
+// the experiment selected by the query parameters (?app=, ?collector=,
+// ?instances=, ?dataset=, ?mode=, ?policy=, ?native=). Feed the stream
+// to cmd/policyreplay (or hybridmem.ReplayTrace) to prototype policies
 // against it offline.
 //
-// A traced run always computes (a cached Result has no quanta), so
-// every request costs one full platform run and takes a concurrency
-// slot. Validation errors are rejected before the stream starts; a
-// platform failure mid-run truncates the stream, which readers surface
-// as a torn tail over the valid prefix.
+// With a trace library configured, the request is answered from the
+// resident trace covering the spec's neighborhood when one exists —
+// no emulation, no concurrency slot — and a live recording is ingested
+// into the library on the way out otherwise, so the library warms up
+// from traffic. ?source=library insists on a resident trace (404 on a
+// miss); ?source=live forces a fresh recording; the default (auto)
+// prefers the library. The X-Trace-Source response header names which
+// path answered.
+//
+// A live traced run always computes (a cached Result has no quanta),
+// so it costs one full platform run and takes a concurrency slot.
+// Validation errors are rejected before the stream starts; a platform
+// failure mid-run truncates the stream, which readers surface as a
+// torn tail over the valid prefix. A client that disconnects mid-
+// stream cancels the emulation between scheduling quanta — the run
+// stops and its slot frees instead of emulating into a dead
+// connection.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	req := RunRequest{
@@ -827,15 +861,52 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Native = b
 	}
+	source := q.Get("source")
+	switch source {
+	case "", "auto", "library", "live":
+	default:
+		fail(w, http.StatusBadRequest,
+			fmt.Errorf("%w: bad source %q (want auto, library, or live)", errBadRequest, source))
+		return
+	}
 	spec, p, err := s.resolve(req)
 	if err != nil {
 		fail(w, httpStatus(err), err)
 		return
 	}
+	key := p.SpecKey(spec)
+
+	if s.lib != nil && source != "live" {
+		tr, lerr := s.lib.Get(key)
+		switch {
+		case lerr == nil:
+			s.libHits.Add(1)
+			_, sp := s.tel.Tracer.Start(r.Context(), "trace")
+			sp.SetAttr("app", spec.AppName)
+			sp.SetAttr("source", "library")
+			defer sp.End()
+			h := s.runs.Begin("trace", spec.AppName, key,
+				sp.Context().TraceID, sp.Context().SpanID, "")
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Trace-Source", "library")
+			w.Write(tr.Bytes())
+			h.Finish(OutcomeLibrary, nil)
+			return
+		case !errors.Is(lerr, library.ErrNotFound):
+			fail(w, http.StatusInternalServerError, lerr)
+			return
+		case source == "library":
+			fail(w, http.StatusNotFound, lerr)
+			return
+		}
+		s.libMisses.Add(1)
+	}
+
 	ctx, sp := s.tel.Tracer.Start(r.Context(), "trace")
 	sp.SetAttr("app", spec.AppName)
+	sp.SetAttr("source", "live")
 	defer sp.End()
-	h := s.runs.Begin("trace", spec.AppName, p.SpecKey(spec),
+	h := s.runs.Begin("trace", spec.AppName, key,
 		sp.Context().TraceID, sp.Context().SpanID, "")
 	// Tracing always computes, so it always takes a slot — there is no
 	// cached read or joinable flight to exempt.
@@ -857,16 +928,34 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Trace-Source", "live")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	h.Transition(RunLocal, "")
-	tp := p.With(hybridmem.WithTrace(flushWriter{w: w, f: flusher}))
+	var sink io.Writer = flushWriter{w: w, f: flusher}
+	var ingest *bytes.Buffer
+	if s.lib != nil {
+		// Tee the stream so a successful recording lands in the
+		// library and the next request skips the emulator.
+		ingest = &bytes.Buffer{}
+		sink = io.MultiWriter(sink, ingest)
+	}
+	tp := p.With(hybridmem.WithTrace(sink))
 	if _, err := tp.Run(ctx, spec); err != nil {
-		// The 200 and (likely) the trace header are already on the
-		// wire; all that is left is to stop extending the stream.
-		s.log.Error("trace run failed mid-stream", "app", spec.AppName, "err", err)
+		// The 200 and (likely) part of the trace are already on the
+		// wire; all that is left is to stop extending the stream. A
+		// disconnected client lands here as context.Canceled — the
+		// cancellation already stopped the emulation.
+		s.log.Error("trace run stopped mid-stream", "app", spec.AppName, "err", err)
 		h.Finish("", err)
 		return
+	}
+	if ingest != nil {
+		if _, perr := s.lib.Put(ingest.Bytes()); perr != nil {
+			// The client got its trace; a full library disk is the
+			// operator's problem, not the requester's.
+			s.log.Error("trace library ingest failed", "app", spec.AppName, "err", perr)
+		}
 	}
 	h.Finish(OutcomeComputed, nil)
 }
@@ -888,18 +977,25 @@ type AutotuneGrid struct {
 // AutotuneRequest selects the run to record (the RunRequest fields;
 // Run.Policy is the policy the trace is recorded under, defaulting to
 // the grid's policy) and the knob grid to search over the recording.
+// Source selects where the trace comes from when the node has a trace
+// library: "auto" (default — a resident library trace if one covers
+// the spec's neighborhood, else a live recording), "library" (resident
+// trace or 404), or "live" (always re-record).
 type AutotuneRequest struct {
-	Run  RunRequest   `json:"run"`
-	Grid AutotuneGrid `json:"grid"`
+	Run    RunRequest   `json:"run"`
+	Grid   AutotuneGrid `json:"grid"`
+	Source string       `json:"source,omitempty"`
 }
 
-// handleAutotune serves POST /v1/autotune: one live traced run of the
-// requested spec (recorded in memory), then an offline knob-grid
-// search over the recording — the response is the hybridmem.Autotune
-// report: every evaluated point, the Pareto frontier on (stall cycles,
-// PCM writes), and the recommended knob set. The endpoint costs
-// exactly one platform run regardless of grid size; the grid itself is
-// priced by replay.
+// handleAutotune serves POST /v1/autotune: a traced run of the
+// requested spec (a resident library trace when the node's trace
+// library covers the spec's neighborhood, a live in-memory recording
+// otherwise), then an offline knob-grid search over it — the response
+// is the hybridmem.Autotune report: every evaluated point, the Pareto
+// frontier on (stall cycles, PCM writes), and the recommended knob
+// set. A library-served grid costs zero platform runs; a live one
+// costs exactly one regardless of grid size — the grid itself is
+// always priced by replay.
 func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	var req AutotuneRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -949,6 +1045,49 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%w: native runs have no policy quanta to autotune", errBadRequest))
 		return
 	}
+	switch req.Source {
+	case "", "auto", "library", "live":
+	default:
+		fail(w, http.StatusBadRequest,
+			fmt.Errorf("%w: bad source %q (want auto, library, or live)", errBadRequest, req.Source))
+		return
+	}
+
+	if s.lib != nil && req.Source != "live" {
+		key := p.SpecKey(spec)
+		tr, lerr := s.lib.Get(key)
+		switch {
+		case lerr == nil:
+			// Price the grid against the resident trace: no emulation,
+			// no admission slot — replay is milliseconds of CPU.
+			s.libHits.Add(1)
+			ctx, sp := s.tel.Tracer.Start(r.Context(), "autotune")
+			sp.SetAttr("app", spec.AppName)
+			sp.SetAttr("source", "library")
+			defer sp.End()
+			h := s.runs.Begin("autotune", spec.AppName, key,
+				sp.Context().TraceID, sp.Context().SpanID, "")
+			rep, aerr := hybridmem.Autotune(ctx, bytes.NewReader(tr.Bytes()), grid)
+			if aerr != nil {
+				h.Finish("", aerr)
+				fail(w, http.StatusInternalServerError, aerr)
+				return
+			}
+			h.Finish(OutcomeLibrary, nil)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Trace-Source", "library")
+			json.NewEncoder(w).Encode(rep)
+			return
+		case !errors.Is(lerr, library.ErrNotFound):
+			fail(w, http.StatusInternalServerError, lerr)
+			return
+		case req.Source == "library":
+			fail(w, http.StatusNotFound, lerr)
+			return
+		}
+		s.libMisses.Add(1)
+	}
+
 	ctx, sp := s.tel.Tracer.Start(r.Context(), "autotune")
 	sp.SetAttr("app", spec.AppName)
 	defer sp.End()
@@ -980,7 +1119,12 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.Finish(OutcomeComputed, nil)
-	rep, err := hybridmem.Autotune(ctx, &trc, grid)
+	if s.lib != nil {
+		if _, perr := s.lib.Put(trc.Bytes()); perr != nil {
+			s.log.Error("trace library ingest failed", "app", spec.AppName, "err", perr)
+		}
+	}
+	rep, err := hybridmem.Autotune(ctx, bytes.NewReader(trc.Bytes()), grid)
 	if err != nil {
 		// The recording is in memory and freshly written; corruption
 		// here is a server bug, not client input.
@@ -988,6 +1132,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Trace-Source", "live")
 	json.NewEncoder(w).Encode(rep)
 }
 

@@ -1,0 +1,293 @@
+// Package library is the server-side home for compacted traces: a
+// directory of v2 traces keyed by spec neighborhood, with random
+// access into any trace through its footer index.
+//
+// The ROADMAP's estimate-first serving tier wants one recorded trace
+// per spec *neighborhood* — the canonical spec key with the policy
+// segment stripped — because a trace records complete views (window
+// writes, reads, wear: whatever any policy might consume), so one
+// recording prices every policy and knob configuration over the same
+// run through replay. A server holding a library answers `GET
+// /v1/trace` from disk instead of re-emulating, and prices autotune
+// grids against library traces in milliseconds.
+//
+// Random access is the other half: a trace's footer indexes its
+// keyframe boundaries by byte offset, so Trace.At(n) seeks to the
+// boundary at or before n and decodes forward — O(keyframe interval)
+// records, never O(trace).
+package library
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// ErrNotFound reports that no library trace covers the requested spec
+// neighborhood.
+var ErrNotFound = errors.New("trace library: no trace for spec neighborhood")
+
+// traceSuffix names library files. The payload is an ordinary v2
+// trace; the library adds nothing to the format.
+const traceSuffix = ".trace.ndjson"
+
+// NeighborhoodKey maps a canonical spec key to its library
+// neighborhood by dropping the policy segment. Policy is the one
+// dimension replay already covers — a trace records complete views, so
+// any policy/knob combination replays against it — which makes
+// "same spec, different policy" one library entry, not many.
+func NeighborhoodKey(specKey string) string {
+	parts := strings.Split(specKey, ";")
+	kept := parts[:0]
+	for _, p := range parts {
+		if strings.HasPrefix(p, "policy=") {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, ";")
+}
+
+// Library is a directory of compacted traces, one per spec
+// neighborhood. All methods are safe for concurrent use.
+type Library struct {
+	mu  sync.Mutex
+	dir string
+	// byHood maps neighborhood key -> filename (within dir).
+	byHood map[string]string
+}
+
+// Open opens (creating if needed) a library directory and indexes the
+// traces already in it by reading each file's header line. A file that
+// does not parse as a v2 trace header fails Open — a library with
+// unreadable entries is a deployment error worth surfacing, not
+// skipping.
+func Open(dir string) (*Library, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace library: %w", err)
+	}
+	l := &Library{dir: dir, byHood: map[string]string{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace library: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), traceSuffix) {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("trace library: %w", err)
+		}
+		hdr, herr := trace.NewReader(f).Header()
+		f.Close()
+		if herr != nil {
+			return nil, fmt.Errorf("trace library: %s: %w", e.Name(), herr)
+		}
+		if hdr.Key == "" {
+			return nil, fmt.Errorf("trace library: %s: trace has no spec key", e.Name())
+		}
+		l.byHood[NeighborhoodKey(hdr.Key)] = e.Name()
+	}
+	return l, nil
+}
+
+// Dir returns the library's directory.
+func (l *Library) Dir() string { return l.dir }
+
+// Len returns the number of resident traces.
+func (l *Library) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.byHood)
+}
+
+// Neighborhoods returns the resident neighborhood keys, sorted.
+func (l *Library) Neighborhoods() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.byHood))
+	for k := range l.byHood {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Put ingests one complete v2 trace, replacing any previous trace for
+// its neighborhood, and returns the neighborhood key. The trace is
+// fully validated first — header with a spec key, every record
+// decodable, a footer whose quantum count matches — because the
+// library's contract is that resident traces serve reads without
+// surprises; a torn or footerless stream belongs in a file, not here.
+// The write is atomic (temp file + rename), so a crash mid-Put never
+// leaves a half-written library entry.
+func (l *Library) Put(data []byte) (string, error) {
+	hdr, quanta, err := trace.DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		return "", fmt.Errorf("trace library: rejecting trace: %w", err)
+	}
+	if hdr.Key == "" {
+		return "", errors.New("trace library: rejecting trace with no spec key (record through the platform, not below it)")
+	}
+	foot, ok := footerOf(data)
+	if !ok {
+		return "", errors.New("trace library: rejecting trace without a footer index (finish it with Recorder.Close)")
+	}
+	if foot.Quanta != len(quanta) {
+		return "", fmt.Errorf("trace library: footer says %d quanta, trace holds %d", foot.Quanta, len(quanta))
+	}
+	hood := NeighborhoodKey(hdr.Key)
+	name := fileName(hood)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp, err := os.CreateTemp(l.dir, "put-*")
+	if err != nil {
+		return "", fmt.Errorf("trace library: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("trace library: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("trace library: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(l.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("trace library: %w", err)
+	}
+	l.byHood[hood] = name
+	return hood, nil
+}
+
+// Get loads the trace covering a spec key's neighborhood (a full
+// canonical key and a bare neighborhood key both work — the policy
+// segment, if present, is ignored). ErrNotFound when the library has
+// no trace for it.
+func (l *Library) Get(specKey string) (*Trace, error) {
+	hood := NeighborhoodKey(specKey)
+	l.mu.Lock()
+	name, ok := l.byHood[hood]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, hood)
+	}
+	data, err := os.ReadFile(filepath.Join(l.dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("trace library: %w", err)
+	}
+	return Load(data)
+}
+
+// Has reports whether a trace covers the spec key's neighborhood.
+func (l *Library) Has(specKey string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.byHood[NeighborhoodKey(specKey)]
+	return ok
+}
+
+// fileName derives the on-disk name for a neighborhood: a digest,
+// because canonical keys hold characters filesystems argue about.
+func fileName(hood string) string {
+	sum := sha256.Sum256([]byte(hood))
+	return hex.EncodeToString(sum[:12]) + traceSuffix
+}
+
+// footerOf parses the footer from a complete in-memory trace: the last
+// non-empty line, if it is a footer line.
+func footerOf(data []byte) (trace.Footer, bool) {
+	trimmed := bytes.TrimRight(data, "\n")
+	i := bytes.LastIndexByte(trimmed, '\n')
+	last := trimmed[i+1:]
+	var f trace.Footer
+	if err := f.Parse(last); err != nil {
+		return trace.Footer{}, false
+	}
+	return f, true
+}
+
+// Trace is one resident library trace, held in memory (the point of
+// the v2 codec is that this is cheap), with random access through its
+// footer index.
+type Trace struct {
+	data []byte
+	hdr  trace.Header
+	foot trace.Footer
+}
+
+// Load wraps a complete, footer-terminated v2 trace held in memory. It
+// validates only the header and footer — use Library.Put for full
+// validation at ingest time.
+func Load(data []byte) (*Trace, error) {
+	hdr, err := trace.NewReader(bytes.NewReader(data)).Header()
+	if err != nil {
+		return nil, err
+	}
+	foot, ok := footerOf(data)
+	if !ok {
+		return nil, errors.New("trace library: trace has no footer index")
+	}
+	return &Trace{data: data, hdr: hdr, foot: foot}, nil
+}
+
+// Header returns the trace header.
+func (t *Trace) Header() trace.Header { return t.hdr }
+
+// Footer returns the footer index.
+func (t *Trace) Footer() trace.Footer { return t.foot }
+
+// Bytes returns the raw trace, suitable for streaming to a client or
+// feeding to any trace reader.
+func (t *Trace) Bytes() []byte { return t.data }
+
+// Quanta returns the number of quantum records.
+func (t *Trace) Quanta() int { return t.foot.Quanta }
+
+// At returns quantum record n (0-based), seeking through the footer
+// index: decoding starts at the keyframe boundary at or before n, so
+// the work is O(keyframe interval) records wherever n lands. The
+// second return is the number of records actually decoded — the
+// read-counting tests pin the O(K) bound through it.
+func (t *Trace) At(n int) (trace.Quantum, int, error) {
+	if n < 0 || n >= t.foot.Quanta {
+		return trace.Quantum{}, 0, fmt.Errorf("trace library: quantum %d out of range [0,%d)", n, t.foot.Quanta)
+	}
+	bs := t.foot.Boundaries
+	if len(bs) == 0 {
+		return trace.Quantum{}, 0, errors.New("trace library: footer has no boundaries")
+	}
+	// The last boundary with record index <= n.
+	i := sort.Search(len(bs), func(i int) bool { return bs[i][0] > int64(n) }) - 1
+	if i < 0 {
+		return trace.Quantum{}, 0, fmt.Errorf("trace library: no boundary at or before quantum %d", n)
+	}
+	start, off := bs[i][0], bs[i][1]
+	if off < 0 || off >= int64(len(t.data)) {
+		return trace.Quantum{}, 0, fmt.Errorf("trace library: boundary offset %d outside trace", off)
+	}
+	r := trace.NewSegmentReader(t.hdr, bytes.NewReader(t.data[off:]))
+	var q trace.Quantum
+	reads := 0
+	for rec := start; rec <= int64(n); rec++ {
+		var err error
+		q, err = r.Next()
+		if err != nil {
+			return trace.Quantum{}, reads, fmt.Errorf("trace library: seeking quantum %d: %w", n, err)
+		}
+		reads++
+	}
+	return q, reads, nil
+}

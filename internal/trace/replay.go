@@ -67,6 +67,15 @@ func (s ReplayStats) PCMWriteReduction() float64 {
 // every record consumed; on a corrupt trace the stats cover the valid
 // prefix and the error (ErrCorrupt with the offending line, or
 // ErrVersion from the header) reports why the replay stopped.
+//
+// The valid prefix ends at the last complete keyframe interval before
+// the corruption, not at the last parseable record: v2 delta records
+// only reconstruct against their process's chain back to the interval
+// keyframe, so a corrupt line inside an interval strands every record
+// the chain would have fed after it — replaying past the boundary
+// would charge half-reconstructed views as if they were real. The
+// replay engine snapshots its state at each keyframe boundary and
+// rolls back to the last one when the stream dies.
 func Replay(src io.Reader, pol policy.Policy) (ReplayStats, error) {
 	return ReplayReader(NewReader(src), pol)
 }
@@ -107,6 +116,11 @@ func ReplayReaderWith(r *Reader, pol policy.Policy, cfg policy.Config) (ReplaySt
 // replays it once per knob-grid point — decode the bytes once and
 // replay the in-memory records via ReplayDecoded instead of re-parsing
 // JSON per replay.
+//
+// On corruption the returned prefix is truncated to the last complete
+// keyframe interval (see Replay): records decoded after the final
+// boundary belong to delta chains the corruption may have stranded, so
+// they are dropped rather than replayed half-valid.
 func DecodeAll(src io.Reader) (Header, []Quantum, error) {
 	r := NewReader(src)
 	h, err := r.Header()
@@ -120,6 +134,9 @@ func DecodeAll(src io.Reader) (Header, []Quantum, error) {
 			return h, quanta, nil
 		}
 		if err != nil {
+			if k := h.KeyframeInterval; k > 0 {
+				quanta = quanta[:len(quanta)-len(quanta)%k]
+			}
 			return h, quanta, err
 		}
 		quanta = append(quanta, q)
@@ -141,7 +158,10 @@ func ReplayDecoded(h Header, quanta []Quantum, pol policy.Policy, cfg policy.Con
 		return q, nil
 	}
 	override := cfg
-	return replayLoop(h, next, pol, &override)
+	// The in-memory source cannot fail mid-stream (DecodeAll already
+	// truncated any corrupt tail to a keyframe boundary), so the loop
+	// skips its rollback snapshots.
+	return replayLoop(h, next, pol, &override, false)
 }
 
 // replayReader drives the streaming replay. override, when non-nil, is
@@ -155,12 +175,15 @@ func replayReader(r *Reader, pol policy.Policy, override *policy.Config) (Replay
 	if err != nil {
 		return ReplayStats{MatchesRecorded: true, Policy: pol.Name()}, err
 	}
-	return replayLoop(h, r.Next, pol, override)
+	return replayLoop(h, r.Next, pol, override, true)
 }
 
 // replayLoop is the replay engine: quanta arrive from next (io.EOF
 // ends the trace; any other error is surfaced with the prefix stats).
-func replayLoop(h Header, next func() (Quantum, error), pol policy.Policy, override *policy.Config) (ReplayStats, error) {
+// With canFail set, the loop snapshots its state at every keyframe
+// boundary and restores the last snapshot when next fails, so the
+// reported prefix never includes records from a stranded delta chain.
+func replayLoop(h Header, next func() (Quantum, error), pol policy.Policy, override *policy.Config, canFail bool) (ReplayStats, error) {
 	st := ReplayStats{MatchesRecorded: true}
 	if pol == nil {
 		return st, fmt.Errorf("trace: replay needs a policy")
@@ -188,13 +211,28 @@ func replayLoop(h Header, next func() (Quantum, error), pol policy.Policy, overr
 	}
 	tiers := map[groupKey]*groupTier{}
 
-	for {
+	// Rollback snapshot: the stats as of the last keyframe boundary
+	// (record indexes 0, K, 2K, ...). Taken only when the source can
+	// fail mid-stream; the tier maps need no snapshot because an error
+	// ends the loop — there is no accounting after the restore.
+	k := h.KeyframeInterval
+	snapshot := canFail && k > 0
+	snapStats := st
+
+	for idx := 0; ; idx++ {
+		if snapshot && idx%k == 0 {
+			snapStats = st
+		}
 		q, err := next()
 		if err == io.EOF {
 			return st, nil
 		}
 		if err != nil {
-			// The prefix consumed so far is valid; surface both.
+			if snapshot {
+				// Records past the last boundary may sit on a delta
+				// chain the corruption stranded: discard them.
+				st = snapStats
+			}
 			return st, err
 		}
 		st.Quanta++

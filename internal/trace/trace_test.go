@@ -13,8 +13,16 @@ import (
 )
 
 // testHeader is a header for synthetic traces: write-threshold with a
-// small promotion threshold, paper-default migration costs.
+// small promotion threshold, paper-default migration costs. The
+// keyframe interval is 1 — every record a keyframe — so the corruption
+// tests exercise plain prefix semantics; delta-chain behavior gets its
+// own headers via testHeaderK.
 func testHeader() Header {
+	return testHeaderK(1)
+}
+
+// testHeaderK is testHeader with an explicit keyframe interval.
+func testHeaderK(interval int) Header {
 	h := Header{
 		Key:                 "app=synth;gc=KG-N",
 		App:                 "synth",
@@ -25,6 +33,8 @@ func testHeader() Header {
 		Seed:                7,
 		MigrationPageCycles: 1200,
 		TLBShootdownCycles:  4000,
+		GroupBytes:          0x10000,
+		KeyframeInterval:    interval,
 	}
 	h.SetPolicyConfig(policy.Config{Kind: policy.WriteThreshold, HotWriteLines: 100})
 	return h
@@ -46,11 +56,17 @@ func synthView(q uint64, hotWrites uint64) policy.View {
 
 // record builds a synthetic trace: n quanta, every view identical, the
 // recorded actions being what write-threshold decides (so replaying
-// write-threshold matches bit-identically).
+// write-threshold matches bit-identically). No footer — the stream is
+// cut the way a tapped engine run leaves it.
 func record(t *testing.T, n int) []byte {
 	t.Helper()
+	return recordHeader(t, n, testHeader())
+}
+
+func recordHeader(t *testing.T, n int, h Header) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	rec, err := NewRecorder(&buf, testHeader())
+	rec, err := NewRecorder(&buf, h)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +74,7 @@ func record(t *testing.T, n int) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := testHeader().PolicyConfig()
+	cfg := h.PolicyConfig()
 	for q := 1; q <= n; q++ {
 		v := synthView(uint64(q), 500)
 		actions := pol.Decide(v, cfg)
@@ -115,6 +131,151 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDeltaRoundTrip drives the delta codec through churn: growing,
+// mutating, and shrinking views across keyframe intervals must
+// reconstruct bit-identically, with keyframes exactly where the
+// interval rule puts them.
+func TestDeltaRoundTrip(t *testing.T) {
+	h := testHeaderK(3)
+	views := []policy.View{
+		// Interval 0: keyframe, then deltas with adds and changes.
+		{Quantum: 1, Groups: []policy.GroupStat{
+			{Addr: 0x10000, Node: 0, Pages: 16, WriteLines: 5},
+			{Addr: 0x20000, Node: 1, Pages: 16, WriteLines: 7},
+		}},
+		{Quantum: 2, Groups: []policy.GroupStat{
+			{Addr: 0x10000, Node: 0, Pages: 16, WriteLines: 5}, // unchanged
+			{Addr: 0x20000, Node: 1, Pages: 16, WriteLines: 9}, // heat changed
+			{Addr: 0x30000, Node: 1, Pages: 16, ReadLines: 2},  // appeared
+		}},
+		{Quantum: 3, Groups: []policy.GroupStat{
+			{Addr: 0x10000, Node: 0, Pages: 16, WriteLines: 5},
+			{Addr: 0x30000, Node: 0, Pages: 16, ReadLines: 2, MaxWear: 1}, // 0x20000 unmapped
+		}},
+		// Interval 1: keyframe again.
+		{Quantum: 4, Groups: []policy.GroupStat{
+			{Addr: 0x30000, Node: 0, Pages: 16, ReadLines: 2, MaxWear: 1},
+		}},
+		{Quantum: 5, Groups: nil}, // everything unmapped
+	}
+
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range views {
+		rec.OnQuantum("p#0", v, nil, nil)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	wantKey := []bool{true, false, false, true, false}
+	for i, v := range views {
+		q, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if q.Keyframe != wantKey[i] {
+			t.Errorf("record %d: keyframe = %v, want %v", i, q.Keyframe, wantKey[i])
+		}
+		if !reflect.DeepEqual(q.View.Groups, v.Groups) {
+			t.Errorf("record %d groups:\n got %+v\nwant %+v", i, q.View.Groups, v.Groups)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("clean end err = %v, want io.EOF", err)
+	}
+}
+
+// TestRunLengthGroups pins the RLE payoff: a long run of identical
+// consecutive groups costs one run tuple, and decodes back exactly.
+func TestRunLengthGroups(t *testing.T) {
+	groups := make([]policy.GroupStat, 100)
+	for i := range groups {
+		groups[i] = policy.GroupStat{
+			Addr: 0x10000000 + uint64(i)*0x10000, Node: 1, Pages: 16, WriteLines: 3,
+		}
+	}
+	// A payload change splits the run; an address gap splits it too.
+	groups[40].WriteLines = 9
+	groups[99].Addr += 0x10000
+
+	runs := encodeRuns(groups, 0x10000)
+	if len(runs) != 4 {
+		t.Fatalf("encoded %d runs, want 4: %v", len(runs), runs)
+	}
+	back, err := decodeRuns(runs, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, groups) {
+		t.Errorf("RLE round trip diverged:\n got %+v\nwant %+v", back[:3], groups[:3])
+	}
+}
+
+// TestFooterIndex pins Close's footer: boundary offsets must point at
+// the exact byte of each interval-opening record, so a seek through
+// the index can resume decoding there.
+func TestFooterIndex(t *testing.T) {
+	h := testHeaderK(2)
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 1; q <= 5; q++ {
+		rec.OnQuantum("p#0", synthView(uint64(q), uint64(q)), nil, nil)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Error("Close is not idempotent:", err)
+	}
+	data := buf.Bytes()
+
+	r := NewReader(bytes.NewReader(data))
+	if _, err := r.Header(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("footer should read as clean EOF, got %v", err)
+	}
+	f, ok := r.Footer()
+	if !ok {
+		t.Fatal("footer not surfaced")
+	}
+	if f.Quanta != 5 || f.Footer != Version {
+		t.Errorf("footer = %+v, want 5 quanta at version %d", f, Version)
+	}
+	// K=2, 5 records: boundaries at record indexes 0, 2, 4.
+	if len(f.Boundaries) != 3 {
+		t.Fatalf("boundaries = %v, want 3 entries", f.Boundaries)
+	}
+	for _, b := range f.Boundaries {
+		// Each boundary must point at the start of a keyframe line.
+		seg := NewSegmentReader(h, bytes.NewReader(data[b[1]:]))
+		q, err := seg.Next()
+		if err != nil {
+			t.Fatalf("boundary %v: %v", b, err)
+		}
+		if !q.Keyframe {
+			t.Errorf("boundary %v does not open with a keyframe", b)
+		}
+		if want := synthView(uint64(b[0]+1), uint64(b[0]+1)); !reflect.DeepEqual(q.View, want) {
+			t.Errorf("boundary %v view = %+v, want %+v", b, q.View, want)
+		}
+	}
+}
+
 func TestReplayReproducesRecordedActions(t *testing.T) {
 	data := record(t, 4)
 	pol, _ := policy.NewPolicy(policy.WriteThreshold.String())
@@ -148,6 +309,30 @@ func TestReplayReproducesRecordedActions(t *testing.T) {
 	}
 	if got := st.PCMWriteReduction(); got <= 0.7 {
 		t.Errorf("reduction = %g, want > 0.7", got)
+	}
+}
+
+// TestReplayDeltaTraceMatchesKeyframeTrace pins codec transparency:
+// the same quanta recorded with K=1 (all keyframes) and K=16 (delta
+// chains) must replay to identical stats.
+func TestReplayDeltaTraceMatchesKeyframeTrace(t *testing.T) {
+	full := record(t, 6)
+	delta := recordHeader(t, 6, testHeaderK(16))
+	if len(delta) >= len(full) {
+		t.Errorf("delta trace (%d bytes) not smaller than keyframe trace (%d bytes)",
+			len(delta), len(full))
+	}
+	pol, _ := policy.NewPolicy(policy.WriteThreshold.String())
+	stFull, err := Replay(bytes.NewReader(full), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stDelta, err := Replay(bytes.NewReader(delta), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stFull, stDelta) {
+		t.Errorf("replay stats diverged across keyframe cadence:\n%+v\nvs\n%+v", stFull, stDelta)
 	}
 }
 
@@ -186,25 +371,43 @@ func TestEmptyTraceIsCorrupt(t *testing.T) {
 	}
 }
 
+// TestVersionRejected is the cross-version matrix: traces from the
+// past (v1), the future (v99), and nowhere (no version field) must all
+// fail with ErrVersion naming both the file's version and this
+// reader's.
 func TestVersionRejected(t *testing.T) {
 	data := record(t, 1)
-	// Rewrite the header's version field only.
-	skewed := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{"version":99,`), 1)
-	if bytes.Equal(skewed, data) {
-		t.Fatal("version field not found in header")
+	cases := []struct {
+		name string
+		old  string
+		new  string
+		want string // version the error must name besides ours
+	}{
+		{"v1 file", `{"version":2,`, `{"version":1,`, "version 1"},
+		{"future file", `{"version":2,`, `{"version":99,`, "version 99"},
+		{"versionless file", `{"version":2,`, `{`, "version 0"},
 	}
-	r := NewReader(bytes.NewReader(skewed))
-	if _, err := r.Header(); !errors.Is(err, ErrVersion) {
-		t.Errorf("version 99 err = %v, want ErrVersion", err)
-	}
-	// The error latches: Next keeps failing the same way.
-	if _, err := r.Next(); !errors.Is(err, ErrVersion) {
-		t.Errorf("Next after bad header err = %v, want ErrVersion", err)
-	}
-	// A missing version field reads as version 0: unknown, rejected.
-	noVersion := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{`), 1)
-	if _, err := NewReader(bytes.NewReader(noVersion)).Header(); !errors.Is(err, ErrVersion) {
-		t.Errorf("versionless header err = %v, want ErrVersion", err)
+	for _, tc := range cases {
+		skewed := bytes.Replace(data, []byte(tc.old), []byte(tc.new), 1)
+		if bytes.Equal(skewed, data) {
+			t.Fatalf("%s: version field not found in header", tc.name)
+		}
+		r := NewReader(bytes.NewReader(skewed))
+		_, err := r.Header()
+		if !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: err = %v, want ErrVersion", tc.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the file's %s", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("version %d", Version)) {
+			t.Errorf("%s: error %q does not name the reader's version %d", tc.name, err, Version)
+		}
+		// The error latches: Next keeps failing the same way.
+		if _, err := r.Next(); !errors.Is(err, ErrVersion) {
+			t.Errorf("%s: Next after bad header err = %v, want ErrVersion", tc.name, err)
+		}
 	}
 }
 
@@ -237,7 +440,9 @@ func TestGarbageMidFileReportsLineAndPreservesPrefix(t *testing.T) {
 		t.Errorf("err after corruption = %v, want latched ErrCorrupt", err)
 	}
 
-	// Replay of the valid prefix still works: one quantum's stats.
+	// Replay of the valid prefix still works: one quantum's stats
+	// (every record is a keyframe at interval 1, so the whole decoded
+	// prefix is committed).
 	pol, _ := policy.NewPolicy(policy.WriteThreshold.String())
 	st, rerr := Replay(bytes.NewReader(corrupted), pol)
 	if !errors.Is(rerr, ErrCorrupt) {
@@ -245,6 +450,64 @@ func TestGarbageMidFileReportsLineAndPreservesPrefix(t *testing.T) {
 	}
 	if st.Quanta != 1 || st.PagesMigrated != 16 || !st.MatchesRecorded {
 		t.Errorf("prefix replay stats = %+v, want 1 matching quantum", st)
+	}
+}
+
+// TestCorruptionRollsBackToKeyframe pins the delta-chain blast radius:
+// corruption inside an interval invalidates every record back to the
+// last keyframe boundary, because the stranded chain's records cannot
+// be trusted in isolation.
+func TestCorruptionRollsBackToKeyframe(t *testing.T) {
+	data := recordHeader(t, 6, testHeaderK(2))
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// lines: header, q1..q6, "". Corrupt q4 (record index 3, line 5):
+	// interval [2,4) loses its tail, so the committed prefix is the
+	// complete interval [0,2) — 2 quanta, not the 3 that decoded.
+	lines[4] = []byte("garbage\n")
+	corrupted := bytes.Join(lines, nil)
+
+	pol, _ := policy.NewPolicy(policy.WriteThreshold.String())
+	st, err := Replay(bytes.NewReader(corrupted), pol)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay err = %v, want ErrCorrupt", err)
+	}
+	if st.Quanta != 2 {
+		t.Errorf("committed prefix = %d quanta, want 2 (last complete keyframe interval)", st.Quanta)
+	}
+	if st.PagesMigrated != 2*16 {
+		t.Errorf("migrated = %d, want %d", st.PagesMigrated, 2*16)
+	}
+
+	// DecodeAll applies the same truncation.
+	_, quanta, derr := DecodeAll(bytes.NewReader(corrupted))
+	if !errors.Is(derr, ErrCorrupt) {
+		t.Fatalf("DecodeAll err = %v, want ErrCorrupt", derr)
+	}
+	if len(quanta) != 2 {
+		t.Errorf("DecodeAll prefix = %d quanta, want 2", len(quanta))
+	}
+}
+
+// TestDeltaWithoutKeyframeIsCorrupt pins the chain-start rule: a delta
+// record whose process has no keyframe in the current interval is
+// corruption, not a silently empty view.
+func TestDeltaWithoutKeyframeIsCorrupt(t *testing.T) {
+	data := recordHeader(t, 4, testHeaderK(4))
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Drop the keyframe (record 0, line 2): the first surviving record
+	// is a delta with no chain to apply to.
+	corrupted := bytes.Join(append(lines[:1], lines[2:]...), nil)
+
+	r := NewReader(bytes.NewReader(corrupted))
+	if _, err := r.Header(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("headless delta err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "no keyframe") {
+		t.Errorf("error %q does not explain the missing keyframe", err)
 	}
 }
 
@@ -265,6 +528,65 @@ func TestTruncatedTailReportsLineAndPreservesPrefix(t *testing.T) {
 	if st.Quanta != 1 || st.PagesMigrated != 16 {
 		t.Errorf("prefix replay stats = %+v, want the intact first quantum", st)
 	}
+}
+
+// TestOversizedLineIsCorrupt is the bounded-reader regression test: a
+// line past MaxLineBytes must fail as ErrCorrupt naming the line,
+// without buffering the whole monster first (the reader gives up the
+// moment the cap is crossed — one buffered chunk past the cap, not the
+// full line).
+func TestOversizedLineIsCorrupt(t *testing.T) {
+	data := record(t, 1)
+	// Splice an unterminated multi-hundred-MB "line" after the valid
+	// records, delivered by a reader that would hand out 512 MiB if
+	// asked — the bounded reader must stop at the 16 MiB cap.
+	monster := &repeatReader{b: 'x', n: 512 << 20}
+	src := io.MultiReader(bytes.NewReader(data), monster)
+
+	r := NewReader(src)
+	if _, err := r.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("prefix record: %v", err)
+	}
+	_, err := r.Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized line err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("error %q does not name line 3 and the cap", err)
+	}
+	if monster.read > MaxLineBytes+(1<<20) {
+		t.Errorf("reader consumed %d bytes of the oversized line, want <= cap + one buffer", monster.read)
+	}
+	// The latch holds.
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err after oversized line = %v, want latched ErrCorrupt", err)
+	}
+}
+
+// repeatReader yields n copies of b with no newline, counting reads.
+type repeatReader struct {
+	b    byte
+	n    int
+	read int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if n > r.n {
+		n = r.n
+	}
+	for i := 0; i < n; i++ {
+		p[i] = r.b
+	}
+	r.n -= n
+	r.read += n
+	return n, nil
 }
 
 // failingWriter fails every write after the first n bytes.
@@ -296,6 +618,9 @@ func TestRecorderLatchesWriteErrors(t *testing.T) {
 	}
 	if rec.Quanta() >= 100 {
 		t.Error("quanta kept counting past the failure")
+	}
+	if rec.Close() == nil {
+		t.Error("Close after a latched write error must return it")
 	}
 }
 

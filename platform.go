@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric/jobs"
 	"repro/internal/jvm"
+	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/store"
@@ -706,13 +707,25 @@ func (p *Platform) RunShared(ctx context.Context, spec RunSpec) (res Result, com
 		// A traced run must actually run — a Result served from the
 		// cache or the store has no quanta to record — so it bypasses
 		// both tiers in both directions and computes unconditionally.
+		// It is also the one path that honors mid-run cancellation:
+		// tracing streams to a live consumer (a file, an HTTP
+		// response), and when that consumer goes away the emulation
+		// must stop, not run on into a dead sink.
 		opts := p.coreOptions()
 		opts.TraceSink = p.cfg.traceSink
 		opts.TraceKey = p.key(spec).canonical()
+		opts.Cancel = ctx.Done()
 		opts.Obs = p.cfg.obs
 		opts.ObsParent = obs.SpanContextFrom(ctx)
 		res, err := core.Run(opts, spec)
 		if err != nil {
+			if errors.Is(err, kernel.ErrCancelled) {
+				// Surface the caller's own cancellation, not the
+				// kernel's internal sentinel.
+				if cerr := ctx.Err(); cerr != nil {
+					return Result{}, false, cerr
+				}
+			}
 			return Result{}, false, fmt.Errorf("hybridmem: %s: %w", specLabel(spec), err)
 		}
 		return res, true, nil

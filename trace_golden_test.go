@@ -82,7 +82,7 @@ func TestTraceGoldenVersionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	skewed := bytes.Replace(data, []byte(`{"version":1,`), []byte(`{"version":2,`), 1)
+	skewed := bytes.Replace(data, []byte(`{"version":2,`), []byte(`{"version":3,`), 1)
 	if bytes.Equal(skewed, data) {
 		t.Fatal("golden trace header lost its version field")
 	}
