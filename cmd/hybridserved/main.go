@@ -12,6 +12,7 @@
 //	             [-node URL -peers URL,URL,...]
 //	             [-log-format text|json] [-spans FILE]
 //	             [-debug-addr 127.0.0.1:6060] [-trace-library DIR]
+//	             [-estimate-validate 0]
 //
 // Endpoints: POST /v1/run, POST /v1/sweep (streams ndjson),
 // GET /v1/results, GET /v1/policies, GET /v1/spans, GET /v1/runs,
@@ -28,6 +29,14 @@
 // unreachable peer degrades to local execution. Every node must run
 // the same -scale, -seed, and -policy, or the fleet's canonical keys
 // disagree and nothing is shared.
+//
+// With -trace-library the node also answers POST /v1/run and /v1/sweep
+// at replay speed under ?answer=auto|estimate: specs whose library
+// neighborhood holds a resident trace are estimated from it instead of
+// emulated (answer=exact opts out). -estimate-validate 30s starts the
+// drift validator, which periodically re-runs one recently estimated
+// spec live, records the observed error in the
+// hybridserved_estimate_drift histogram, and refreshes drifted traces.
 //
 // Observability: logs go to stderr as structured slog records
 // (-log-format json for machine ingestion), every finished
@@ -72,7 +81,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	spansPath := flag.String("spans", "", "append finished run-lifecycle spans to this ndjson file")
-	traceLib := flag.String("trace-library", "", "compacted trace library directory: GET /v1/trace and POST /v1/autotune serve from it and warm it (empty = off)")
+	traceLib := flag.String("trace-library", "", "compacted trace library directory: GET /v1/trace, POST /v1/autotune, and answer=auto runs/sweeps serve from it and warm it (empty = off)")
+	estValidate := flag.Duration("estimate-validate", 0, "period of the estimate drift validator (0 = off; needs -trace-library)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; keep it private)")
 	flag.Parse()
 
@@ -141,7 +151,11 @@ func main() {
 			fail(fmt.Errorf("opening -trace-library: %w", err))
 		}
 		cfg.TraceLibrary = lib
-		log.Info("trace library open", "dir", lib.Dir(), "traces", lib.Len())
+		cfg.ValidateEvery = *estValidate
+		log.Info("trace library open", "dir", lib.Dir(), "traces", lib.Len(),
+			"estimateValidate", estValidate.String())
+	} else if *estValidate > 0 {
+		fail(fmt.Errorf("-estimate-validate requires -trace-library"))
 	}
 	srv, err := serve.New(p, cfg)
 	if err != nil {
@@ -194,6 +208,8 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Error("shutdown", "err", err)
 	}
+	// Stop the drift validator before the store closes under it.
+	srv.Close()
 	if st, err := p.Store(); err == nil && st != nil {
 		if err := st.Close(); err != nil {
 			log.Error("closing store", "err", err)

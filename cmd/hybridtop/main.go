@@ -117,18 +117,25 @@ func render(w io.Writer, base string, st serve.FleetStatus, prefix string) {
 		st.Fleet.Started, st.Fleet.Done, st.Fleet.Failed,
 		st.Fleet.Forwarded, st.Fleet.Coalesced, st.Fleet.Degraded, st.Fleet.Rejected,
 		st.Fleet.StoreRecords, fmtBytes(st.Fleet.StoreBytes))
+	if served, misses, validations, refreshes := estimateTotals(st); served+misses > 0 {
+		// The estimate tier is live somewhere in the fleet: show how
+		// much traffic it absorbs and what the drift validator found.
+		rate := 100 * float64(served) / float64(served+misses)
+		fmt.Fprintf(&b, "estimate: served %d  hit-rate %.0f%%  validated %d  refreshed %d\n",
+			served, rate, validations, refreshes)
+	}
 	if len(st.Unreachable) > 0 {
 		fmt.Fprintf(&b, "UNREACHABLE: %s\n", strings.Join(st.Unreachable, ", "))
 	}
 
 	b.WriteString("\n")
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NODE\tINFLIGHT\tQUEUED\tACTIVE\tDONE\tFAILED\tFWD\tCOAL\tDEGR\tREJ\tSTORE")
+	fmt.Fprintln(tw, "NODE\tINFLIGHT\tQUEUED\tACTIVE\tDONE\tFAILED\tFWD\tCOAL\tDEGR\tREJ\tEST\tSTORE")
 	for _, n := range st.Nodes {
-		fmt.Fprintf(tw, "%s\t%d/%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d/%d\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			n.Node, n.Inflight, n.MaxInflight, n.Queued, n.MaxQueued,
 			len(n.Runs.Active), n.Runs.Done, n.Runs.Failed,
-			n.Forwarded, n.Coalesced, n.Degraded, n.Rejected, n.StoreRecords)
+			n.Forwarded, n.Coalesced, n.Degraded, n.Rejected, n.Estimated, n.StoreRecords)
 	}
 	tw.Flush()
 
@@ -153,6 +160,18 @@ func render(w io.Writer, base string, st serve.FleetStatus, prefix string) {
 		tw.Flush()
 	}
 	io.WriteString(w, b.String())
+}
+
+// estimateTotals sums the estimate tier's counters across the fleet's
+// reachable nodes.
+func estimateTotals(st serve.FleetStatus) (served, misses, validations, refreshes uint64) {
+	for _, n := range st.Nodes {
+		served += n.Estimated
+		misses += n.EstimateMisses
+		validations += n.EstimateValidations
+		refreshes += n.EstimateRefreshes
+	}
+	return served, misses, validations, refreshes
 }
 
 type activeRun struct {

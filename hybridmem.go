@@ -123,6 +123,11 @@ type RunSpec = core.RunSpec
 // JSON via EncodeResult and DecodeResult.
 type Result = core.Result
 
+// EstimateInfo annotates an estimated Result (Result.Estimated) with
+// its provenance: the library trace it was replayed from, the policy
+// it was priced under, and the Confidence/Tolerance accuracy bound.
+type EstimateInfo = core.EstimateInfo
+
 // Dataset selects default or large inputs.
 type Dataset = workloads.Dataset
 

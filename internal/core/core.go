@@ -181,6 +181,36 @@ type Result struct {
 	// per-tier residency histogram.
 	DRAMResidentPages uint64
 	PCMResidentPages  uint64
+	// Estimated marks a Result synthesized by the estimate-first
+	// serving tier: replayed from a library-resident trace instead of
+	// measured by the engine. Estimated Results never enter the
+	// canonical result store. Both fields are omitempty so an exact
+	// Result's JSON stays byte-identical to builds that predate them.
+	Estimated bool `json:",omitempty"`
+	// Estimate carries the estimate's provenance and error bound; nil
+	// on exact Results.
+	Estimate *EstimateInfo `json:",omitempty"`
+}
+
+// EstimateInfo annotates an estimated Result with where it came from
+// and how far it may sit from a live run.
+type EstimateInfo struct {
+	// SourceKey is the canonical spec key of the recorded run whose
+	// trace (and measured baseline) priced this estimate.
+	SourceKey string `json:",omitempty"`
+	// SourceQuanta counts the replayed quantum records.
+	SourceQuanta uint64 `json:",omitempty"`
+	// Policy is the replayed policy configuration's key.
+	Policy string `json:",omitempty"`
+	// MatchesRecorded reports that the replayed policy reproduced the
+	// recorded action stream exactly — migration fields are then the
+	// recorded run's executed costs, not approximations.
+	MatchesRecorded bool `json:",omitempty"`
+	// Confidence is 1 when MatchesRecorded, else 1-Tolerance.
+	Confidence float64 `json:",omitempty"`
+	// Tolerance is the relative error bound the estimate tier promises
+	// (and the drift validator enforces) on the migration fields.
+	Tolerance float64 `json:",omitempty"`
 }
 
 // PCMWriteBytes returns PCM write traffic in bytes.

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/trace/library"
+)
+
+// estimateTracePath warms the library with a write-threshold recording
+// of the spec the estimate tests answer.
+const estimateTracePath = "/v1/trace?app=PR&collector=KG-N&policy=write-threshold"
+
+// estimateRunReq is the matching run request: same spec, same policy,
+// so the resident trace answers it through the exact same-policy
+// replay path.
+func estimateRunReq() RunRequest {
+	return RunRequest{App: "PR", Collector: "KG-N", Policy: "write-threshold"}
+}
+
+// runAnswer is one concurrent /v1/run response, collected off a
+// goroutine (test assertions happen on the main goroutine).
+type runAnswer struct {
+	status int
+	source string
+	rec    store.Record
+	err    error
+}
+
+// postRun posts one run request and decodes the answer.
+func postRun(url string, req RunRequest) runAnswer {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return runAnswer{err: err}
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return runAnswer{err: err}
+	}
+	defer resp.Body.Close()
+	a := runAnswer{status: resp.StatusCode, source: resp.Header.Get("X-Answer-Source")}
+	if resp.StatusCode == http.StatusOK {
+		a.err = json.NewDecoder(resp.Body).Decode(&a.rec)
+	}
+	return a
+}
+
+// TestEstimateAnswersConcurrentlyFromWarmLibrary is the load half of
+// the estimate tier's acceptance: N concurrent answer=auto requests
+// against a warm library must all be served at replay speed — zero
+// emulator runs, every answer tagged Estimated — and the estimator
+// must have loaded and decoded the resident trace exactly once
+// (concurrent lookups coalesce on one in-flight load). Run with -race:
+// the decoded trace is shared read-only across all N replays.
+func TestEstimateAnswersConcurrentlyFromWarmLibrary(t *testing.T) {
+	s, _, ts := newLibraryServer(t)
+	resp, _ := getTrace(t, ts.URL+estimateTracePath)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming trace run = %d", resp.StatusCode)
+	}
+
+	const n = 8
+	answers := make(chan runAnswer, n)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			answers <- postRun(ts.URL+"/v1/run?answer=auto", estimateRunReq())
+		}()
+	}
+	start.Done()
+	done.Wait()
+	close(answers)
+
+	for a := range answers {
+		if a.err != nil {
+			t.Fatalf("concurrent run: %v", a.err)
+		}
+		if a.status != http.StatusOK {
+			t.Fatalf("concurrent run = %d, want 200", a.status)
+		}
+		if a.source != "estimate" {
+			t.Errorf("X-Answer-Source = %q, want estimate", a.source)
+		}
+		if !a.rec.Result.Estimated || a.rec.Result.Estimate == nil {
+			t.Error("warm-library answer is not tagged as an estimate")
+		}
+	}
+
+	// Zero emulator runs: the only computed run is the warming trace.
+	computed := s.runs.List(func(ri RunInfo) bool {
+		return ri.Kind == "run" && ri.Outcome == OutcomeComputed
+	})
+	if len(computed) != 0 {
+		t.Errorf("%d run(s) hit the emulator against a warm library, want 0", len(computed))
+	}
+	estimated := s.runs.List(func(ri RunInfo) bool { return ri.Outcome == OutcomeEstimated })
+	if len(estimated) != n {
+		t.Errorf("flight recorder has %d estimated runs, want %d", len(estimated), n)
+	}
+	if got := s.estimated.Load(); got != n {
+		t.Errorf("estimate hit counter = %d, want %d", got, n)
+	}
+	st := s.p.EstimateStats()
+	if st.Hits != n {
+		t.Errorf("estimator hits = %d, want %d", st.Hits, n)
+	}
+	if st.Loads != 1 {
+		t.Errorf("estimator loaded the trace %d times under %d concurrent requests, want 1 (coalesced)",
+			st.Loads, n)
+	}
+}
+
+// TestColdLibraryComputesOncePerKey is the cold half: with an empty
+// library, N concurrent answer=auto requests for one canonical key
+// must all miss the estimate tier and coalesce onto exactly one
+// platform compute.
+func TestColdLibraryComputesOncePerKey(t *testing.T) {
+	s, _, ts := newLibraryServer(t)
+
+	const n = 6
+	answers := make(chan runAnswer, n)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			answers <- postRun(ts.URL+"/v1/run?answer=auto", estimateRunReq())
+		}()
+	}
+	start.Done()
+	done.Wait()
+	close(answers)
+
+	for a := range answers {
+		if a.err != nil {
+			t.Fatalf("concurrent run: %v", a.err)
+		}
+		if a.status != http.StatusOK {
+			t.Fatalf("concurrent run = %d, want 200", a.status)
+		}
+		if a.source != "exact" {
+			t.Errorf("cold-library X-Answer-Source = %q, want exact", a.source)
+		}
+		if a.rec.Result.Estimated {
+			t.Error("cold-library answer is tagged Estimated")
+		}
+	}
+
+	computed := s.runs.List(func(ri RunInfo) bool {
+		return ri.Kind == "run" && ri.Outcome == OutcomeComputed
+	})
+	if len(computed) != 1 {
+		t.Errorf("%d computes for one canonical key, want exactly 1", len(computed))
+	}
+	coalesced := s.runs.List(func(ri RunInfo) bool {
+		return ri.Kind == "run" && ri.Outcome == OutcomeCoalesced
+	})
+	if len(coalesced) != n-1 {
+		t.Errorf("%d coalesced runs, want %d", len(coalesced), n-1)
+	}
+	if got := s.estimated.Load(); got != 0 {
+		t.Errorf("estimate hits = %d on an empty library, want 0", got)
+	}
+	if got := s.estMisses.Load(); got == 0 {
+		t.Error("estimate misses = 0: answer=auto never consulted the estimate tier")
+	}
+}
+
+// scaleExecStalls re-records a resident trace with every executed
+// stall multiplied by factor — a synthetic drifted trace: same views,
+// same decisions, wrong prices. Same-policy replay then overestimates
+// stalls by exactly that factor, which is how the drift-validator test
+// manufactures a deterministic out-of-tolerance estimate.
+func scaleExecStalls(t *testing.T, tr *library.Trace, factor float64) []byte {
+	t.Helper()
+	hdr, quanta, err := trace.DecodeAll(bytes.NewReader(tr.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range quanta {
+		exec := make([]policy.Exec, len(q.Exec))
+		for i, e := range q.Exec {
+			exec[i] = policy.Exec{Moved: e.Moved, Stall: e.Stall * factor}
+		}
+		rec.OnQuantum(q.Proc, q.View, q.Actions, exec)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDriftValidatorRefreshesDriftedTrace drives the ground-truthing
+// loop end to end: a doctored resident trace makes the estimate tier
+// overprice stalls 10x, ValidateOnce re-runs the spec live, observes
+// the drift, refreshes the library — and the next estimate is exact
+// again.
+func TestDriftValidatorRefreshesDriftedTrace(t *testing.T) {
+	s, lib, ts := newLibraryServer(t)
+	resp, _ := getTrace(t, ts.URL+estimateTracePath)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming trace run = %d", resp.StatusCode)
+	}
+	hood := lib.Neighborhoods()[0]
+	tr, err := lib.Get(hood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.PutWithBase(scaleExecStalls(t, tr, 10), tr.Base()); err != nil {
+		t.Fatalf("planting drifted trace: %v", err)
+	}
+
+	// Ground truth, computed live (tracing bypassed the cache, so this
+	// is the one platform "run" compute).
+	exact := postRun(ts.URL+"/v1/run?answer=exact", estimateRunReq())
+	if exact.err != nil || exact.status != http.StatusOK {
+		t.Fatalf("exact run: status %d err %v", exact.status, exact.err)
+	}
+	if exact.rec.Result.MigrationStallCycles == 0 {
+		t.Fatal("live run migrated nothing; the drift scenario needs a migrating policy")
+	}
+
+	// The estimate is served from the doctored trace and enrolled with
+	// the validator.
+	est := postRun(ts.URL+"/v1/run?answer=estimate", estimateRunReq())
+	if est.err != nil || est.status != http.StatusOK {
+		t.Fatalf("estimate run: status %d err %v", est.status, est.err)
+	}
+	if !est.rec.Result.Estimated {
+		t.Fatal("answer=estimate served an untagged result")
+	}
+	if est.rec.Result.MigrationStallCycles <= exact.rec.Result.MigrationStallCycles {
+		t.Fatalf("doctored estimate stalls = %d, want > live %d",
+			est.rec.Result.MigrationStallCycles, exact.rec.Result.MigrationStallCycles)
+	}
+
+	if err := s.ValidateOnce(context.Background()); err != nil {
+		t.Fatalf("ValidateOnce: %v", err)
+	}
+	validations, refreshes := s.EstimateValidations()
+	if validations != 1 || refreshes != 1 {
+		t.Fatalf("after drift: validations=%d refreshes=%d, want 1/1", validations, refreshes)
+	}
+
+	// The refresh replaced the doctored trace; the estimator notices the
+	// library generation change and the next estimate is exact.
+	healed := postRun(ts.URL+"/v1/run?answer=estimate", estimateRunReq())
+	if healed.err != nil || healed.status != http.StatusOK {
+		t.Fatalf("healed estimate: status %d err %v", healed.status, healed.err)
+	}
+	if got, want := healed.rec.Result.MigrationStallCycles, exact.rec.Result.MigrationStallCycles; got != want {
+		t.Errorf("healed estimate stalls = %d, want the live run's %d", got, want)
+	}
+
+	// A second validation of the healed trace observes zero drift and
+	// refreshes nothing.
+	if err := s.ValidateOnce(context.Background()); err != nil {
+		t.Fatalf("second ValidateOnce: %v", err)
+	}
+	if validations, refreshes = s.EstimateValidations(); validations != 2 || refreshes != 1 {
+		t.Errorf("after healed validation: validations=%d refreshes=%d, want 2/1", validations, refreshes)
+	}
+}
+
+// TestEvictedTraceFailsCleanly pins the eviction failure modes: a
+// trace whose file vanished behind the index (the Evict race) must
+// turn GET /v1/trace?source=library into a clean 404 — never a
+// truncated 200 — and a properly evicted neighborhood must take the
+// estimate tier down with it.
+func TestEvictedTraceFailsCleanly(t *testing.T) {
+	s, lib, ts := newLibraryServer(t)
+	resp, _ := getTrace(t, ts.URL+estimateTracePath)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming trace run = %d", resp.StatusCode)
+	}
+
+	// Rip the file out from under the index — the shape of losing the
+	// race to a concurrent Evict.
+	files, err := filepath.Glob(filepath.Join(lib.Dir(), "*.trace.ndjson"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("library files = %v (err %v), want exactly 1", files, err)
+	}
+	if err := os.Remove(files[0]); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := getTrace(t, ts.URL+estimateTracePath+"&source=library")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("source=library on a vanished trace = %d, want 404", resp.StatusCode)
+	}
+	if bytes.Contains(body, []byte(`"version"`)) {
+		t.Error("404 body carries trace data: a truncated 200 in disguise")
+	}
+	if !strings.Contains(string(body), "no trace") {
+		t.Errorf("404 body = %q, want the library's not-found error", body)
+	}
+
+	// A real Evict removes the index entry too; the estimate tier must
+	// miss rather than serve from a stale decode.
+	warm := postRun(ts.URL+"/v1/run?answer=estimate", estimateRunReq())
+	if warm.status != http.StatusNotFound {
+		t.Fatalf("estimate from a vanished trace = %d, want 404", warm.status)
+	}
+	if err := lib.Evict(lib.Neighborhoods()[0]); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	if lib.Len() != 0 {
+		t.Fatalf("library still holds %d traces after Evict", lib.Len())
+	}
+	gone := postRun(ts.URL+"/v1/run?answer=estimate", estimateRunReq())
+	if gone.status != http.StatusNotFound {
+		t.Errorf("answer=estimate after Evict = %d, want 404", gone.status)
+	}
+	if hits := s.estimated.Load(); hits != 0 {
+		t.Errorf("estimate hits = %d after eviction-only traffic, want 0", hits)
+	}
+}
+
+// TestAnswerModeValidation pins the wire contract of the answer knob:
+// bad values 400, the query parameter beats the body field.
+func TestAnswerModeValidation(t *testing.T) {
+	_, _, ts := newLibraryServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/run?answer=nope", estimateRunReq())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("answer=nope = %d, want 400", resp.StatusCode)
+	}
+
+	req := estimateRunReq()
+	req.Answer = "bogus"
+	resp = postJSON(t, ts.URL+"/v1/run", req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("body answer=bogus = %d, want 400", resp.StatusCode)
+	}
+
+	// Query wins over body: an invalid body mode is overridden by a
+	// valid query mode on an empty library (estimate → 404 proves the
+	// query's mode was the one applied).
+	resp = postJSON(t, ts.URL+"/v1/run?answer=estimate", req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("query answer=estimate over body bogus = %d, want 404 (estimate miss)", resp.StatusCode)
+	}
+
+	var sweepBody bytes.Buffer
+	if err := json.NewEncoder(&sweepBody).Encode(SweepRequest{Apps: []string{"PR"}, Answer: "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.Post(ts.URL+"/v1/sweep", "application/json", &sweepBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sweep answer=nope = %d, want 400", sresp.StatusCode)
+	}
+}

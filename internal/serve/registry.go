@@ -84,6 +84,10 @@ const (
 	// touching the emulator (a /v1/trace read or an autotune grid
 	// priced against a resident trace).
 	OutcomeLibrary = "library"
+	// OutcomeEstimated: answered by the estimate tier — a replay of a
+	// library-resident trace under the requested policy, tagged
+	// Result.Estimated, never entering the canonical result store.
+	OutcomeEstimated = "estimated"
 )
 
 // RunPhase is one visited lifecycle state with its timing.

@@ -100,10 +100,20 @@ type Config struct {
 	RecentRuns int
 	// TraceLibrary, when non-nil, is the node's compacted trace store:
 	// GET /v1/trace serves resident traces from it without emulating
-	// (and ingests freshly recorded ones into it), and POST
-	// /v1/autotune prices grids against resident traces instead of
-	// re-recording. hybridserved wires it up with -trace-library.
+	// (and ingests freshly recorded ones into it), POST /v1/autotune
+	// prices grids against resident traces instead of re-recording, and
+	// /v1/run + /v1/sweep answer at replay speed from it under
+	// ?answer=auto|estimate. hybridserved wires it up with
+	// -trace-library.
 	TraceLibrary *library.Library
+	// ValidateEvery, with a TraceLibrary configured, runs the estimate
+	// drift validator on this period: each tick re-runs one recently
+	// estimated spec live, records the observed relative error in the
+	// hybridserved_estimate_drift histogram, and refreshes the resident
+	// trace when the error exceeds the estimate tolerance. 0 disables
+	// the background loop (ValidateOnce stays available). Stop it with
+	// Server.Close. hybridserved wires it up with -estimate-validate.
+	ValidateEvery time.Duration
 }
 
 // Server routes the hybridserved API onto one shared Platform. It is
@@ -128,6 +138,14 @@ type Server struct {
 	// vs requests that fell through to a live emulation.
 	libHits   atomic.Uint64
 	libMisses atomic.Uint64
+
+	// Estimate-tier counters: run/sweep answers served at replay speed
+	// vs estimate attempts that fell through to a compute. The drift
+	// validator (nil without a trace library) ground-truths served
+	// estimates in the background.
+	estimated atomic.Uint64
+	estMisses atomic.Uint64
+	validator *driftValidator
 
 	// Fabric counters (also maintained single-node, where coalesced
 	// still counts requests served without a fresh compute).
@@ -183,6 +201,11 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 	// Attach telemetry before the eager store open so the store tier is
 	// instrumented from its first byte of replay.
 	p = p.With(hybridmem.WithTelemetry(tel))
+	if cfg.TraceLibrary != nil {
+		// One estimator (and one decoded-trace cache) serves every
+		// platform variant this server derives per request.
+		p = p.With(hybridmem.WithTraceLibrary(cfg.TraceLibrary))
+	}
 	if _, err := p.Store(); err != nil {
 		return nil, err
 	}
@@ -197,6 +220,12 @@ func New(p *hybridmem.Platform, cfg Config) (*Server, error) {
 		"Time queued requests waited for an in-flight slot.", lbl, nil))
 	if s.fab != nil {
 		s.fab.Instrument(tel)
+	}
+	if cfg.TraceLibrary != nil {
+		s.validator = newDriftValidator(s, reg, lbl)
+		if cfg.ValidateEvery > 0 {
+			s.validator.start(cfg.ValidateEvery)
+		}
 	}
 	s.registerMetrics(reg, lbl)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -269,6 +298,15 @@ func (s *Server) registerMetrics(reg *obs.Registry, lbl obs.Labels) {
 		gauge("hybridserved_trace_library_traces",
 			"Traces resident in the compacted trace library.",
 			func() float64 { return float64(s.lib.Len()) })
+		counter("hybridserved_estimate_hits_total",
+			"Run/sweep answers served by the estimate tier at replay speed.",
+			func() float64 { return float64(s.estimated.Load()) })
+		counter("hybridserved_estimate_misses_total",
+			"Estimate attempts that fell through to a platform compute.",
+			func() float64 { return float64(s.estMisses.Load()) })
+		counter("hybridserved_estimate_loads_total",
+			"Library traces read and decoded by the estimator (coalesced across concurrent estimates).",
+			func() float64 { return float64(s.p.EstimateStats().Loads) })
 	}
 	reg.GaugeFunc("hybridserved_build_info",
 		"Build identity of this node; the value is always 1.",
@@ -298,6 +336,10 @@ type RunRequest struct {
 	Mode      string `json:"mode,omitempty"`
 	Policy    string `json:"policy,omitempty"`
 	Native    bool   `json:"native,omitempty"`
+	// Answer selects the answer mode (auto, estimate, or exact; empty =
+	// auto). The ?answer= query parameter overrides it; the resolved
+	// mode rides in the body on fabric forwards.
+	Answer string `json:"answer,omitempty"`
 }
 
 // errBadRequest marks client mistakes beyond the hybridmem typed
@@ -363,6 +405,11 @@ func httpStatus(err error) int {
 		if errors.Is(err, bad) {
 			return http.StatusBadRequest
 		}
+	}
+	if errors.Is(err, errNoEstimate) {
+		// answer=estimate on a spec the library cannot answer: the
+		// resource (a resident trace within tolerance) does not exist.
+		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError
 }
@@ -545,6 +592,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		fail(w, httpStatus(err), err)
 		return
 	}
+	mode, err := answerMode(r.URL.Query().Get("answer"), req.Answer)
+	if err != nil {
+		fail(w, httpStatus(err), err)
+		return
+	}
+	// The resolved mode rides in the body on forwards, where query
+	// parameters do not travel.
+	req.Answer = mode
 	ctx := r.Context()
 	if sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
 		ctx = obs.ContextWithRemote(ctx, sc)
@@ -562,7 +617,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// so emulating/quantum callbacks route straight to this record.
 	h := s.runs.Begin("run", spec.AppName, key, sp.Context().TraceID, sp.Context().SpanID,
 		r.Header.Get(fabric.ForwardHeader))
-	rec, outcome, err := s.dispatch(ctx, h, forwardedIn, p, spec, req)
+	rec, outcome, err := s.answer(ctx, h, mode, forwardedIn, p, spec, req)
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	}
@@ -576,8 +631,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.log.Debug("run served", "app", spec.AppName, "key", key,
-		"trace", sp.Context().TraceID, "seconds", time.Since(start).Seconds())
+		"trace", sp.Context().TraceID, "source", answerSource(outcome),
+		"seconds", time.Since(start).Seconds())
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Answer-Source", answerSource(outcome))
 	json.NewEncoder(w).Encode(rec)
 }
 
@@ -595,6 +652,11 @@ type SweepRequest struct {
 	// platform's own policy.
 	Policies []string `json:"policies,omitempty"`
 	Native   bool     `json:"native,omitempty"`
+	// Answer selects the answer mode applied to every cell (auto,
+	// estimate, or exact; empty = auto). The ?answer= query parameter
+	// overrides it. Under estimate, cells the library cannot answer
+	// become in-stream item errors, never computes.
+	Answer string `json:"answer,omitempty"`
 }
 
 // SweepItem is one line of a /v1/sweep response stream. Index aligns
@@ -621,6 +683,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	mode, err := answerMode(r.URL.Query().Get("answer"), req.Answer)
+	if err != nil {
+		fail(w, httpStatus(err), err)
 		return
 	}
 	sweep := hybridmem.NewSweep(req.Apps...)
@@ -722,6 +789,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	sh.Transition(RunAdmitted, "")
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	// The stream mixes provenances under auto; the header echoes the
+	// mode, each item's Result carries its own Estimated tag.
+	w.Header().Set("X-Answer-Source", mode)
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
@@ -765,6 +835,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					Mode:      req.Mode,
 					Policy:    c.policy,
 					Native:    c.spec.Native,
+					Answer:    mode,
 				}
 				key := c.p.SpecKey(c.spec)
 				cctx, csp := s.tel.Tracer.Start(ctx, "run")
@@ -772,7 +843,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				csp.SetAttr("key", key)
 				csp.SetAttr("cell", strconv.Itoa(i))
 				ch := s.runs.Begin("run", c.spec.AppName, key, csp.Context().TraceID, csp.Context().SpanID, "")
-				rec, outcome, err := s.dispatch(cctx, ch, false, c.p, c.spec, wire)
+				rec, outcome, err := s.answer(cctx, ch, mode, false, c.p, c.spec, wire)
 				if err != nil {
 					csp.SetAttr("error", err.Error())
 				}
@@ -941,7 +1012,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		sink = io.MultiWriter(sink, ingest)
 	}
 	tp := p.With(hybridmem.WithTrace(sink))
-	if _, err := tp.Run(ctx, spec); err != nil {
+	res, err := tp.Run(ctx, spec)
+	if err != nil {
 		// The 200 and (likely) part of the trace are already on the
 		// wire; all that is left is to stop extending the stream. A
 		// disconnected client lands here as context.Canceled — the
@@ -951,11 +1023,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if ingest != nil {
-		if _, perr := s.lib.Put(ingest.Bytes()); perr != nil {
-			// The client got its trace; a full library disk is the
-			// operator's problem, not the requester's.
-			s.log.Error("trace library ingest failed", "app", spec.AppName, "err", perr)
-		}
+		// Filed with the run's measured Result as its baseline, so the
+		// neighborhood becomes estimable, not just replayable.
+		s.ingestTrace(spec.AppName, key, spec, res, ingest.Bytes())
 	}
 	h.Finish(OutcomeComputed, nil)
 }
@@ -1113,16 +1183,15 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 
 	var trc bytes.Buffer
 	h.Transition(RunLocal, "")
-	if _, err := p.With(hybridmem.WithTrace(&trc)).Run(ctx, spec); err != nil {
+	res, err := p.With(hybridmem.WithTrace(&trc)).Run(ctx, spec)
+	if err != nil {
 		h.Finish("", err)
 		fail(w, httpStatus(err), err)
 		return
 	}
 	h.Finish(OutcomeComputed, nil)
 	if s.lib != nil {
-		if _, perr := s.lib.Put(trc.Bytes()); perr != nil {
-			s.log.Error("trace library ingest failed", "app", spec.AppName, "err", perr)
-		}
+		s.ingestTrace(spec.AppName, p.SpecKey(spec), spec, res, trc.Bytes())
 	}
 	rep, err := hybridmem.Autotune(ctx, bytes.NewReader(trc.Bytes()), grid)
 	if err != nil {

@@ -41,6 +41,14 @@ type NodeStatus struct {
 	Degraded  uint64 `json:"degraded"`
 	Rejected  uint64 `json:"rejected"`
 
+	// Estimate-tier counters (all zero without a trace library):
+	// answers served at replay speed, estimate attempts that fell
+	// through to a compute, and the drift validator's work.
+	Estimated           uint64 `json:"estimated,omitempty"`
+	EstimateMisses      uint64 `json:"estimateMisses,omitempty"`
+	EstimateValidations uint64 `json:"estimateValidations,omitempty"`
+	EstimateRefreshes   uint64 `json:"estimateRefreshes,omitempty"`
+
 	// Result-cache and durable-store sizes.
 	CacheEntries int   `json:"cacheEntries"`
 	StoreRecords int   `json:"storeRecords,omitempty"`
@@ -71,9 +79,12 @@ func (s *Server) nodeStatus() NodeStatus {
 		Coalesced:   s.coalesced.Load(),
 		Degraded:    s.degraded.Load(),
 		Rejected:    uint64(s.adm.Rejected()),
+		Estimated:   s.estimated.Load(),
 		Ring:        []string{},
 		Runs:        s.runs.Summary(),
 	}
+	st.EstimateMisses = s.estMisses.Load()
+	st.EstimateValidations, st.EstimateRefreshes = s.EstimateValidations()
 	st.CacheEntries = s.p.CacheStats().Entries
 	if store, err := s.p.Store(); err == nil && store != nil {
 		stats := store.Stats()
@@ -117,6 +128,10 @@ type FleetSummary struct {
 	Coalesced uint64 `json:"coalesced"`
 	Degraded  uint64 `json:"degraded"`
 	Rejected  uint64 `json:"rejected"`
+
+	// Estimate-tier totals across the fleet.
+	Estimated         uint64 `json:"estimated"`
+	EstimateRefreshes uint64 `json:"estimateRefreshes"`
 
 	StoreRecords int   `json:"storeRecords"`
 	StoreBytes   int64 `json:"storeBytes"`
@@ -202,6 +217,8 @@ func (s *Server) fleetStatus(r *http.Request) FleetStatus {
 		sum.Coalesced += st.Coalesced
 		sum.Degraded += st.Degraded
 		sum.Rejected += st.Rejected
+		sum.Estimated += st.Estimated
+		sum.EstimateRefreshes += st.EstimateRefreshes
 		sum.StoreRecords += st.StoreRecords
 		sum.StoreBytes += st.StoreBytes
 	}

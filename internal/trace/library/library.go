@@ -23,11 +23,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -39,6 +41,12 @@ var ErrNotFound = errors.New("trace library: no trace for spec neighborhood")
 // traceSuffix names library files. The payload is an ordinary v2
 // trace; the library adds nothing to the format.
 const traceSuffix = ".trace.ndjson"
+
+// baseSuffix names the optional sidecar next to a trace: an opaque
+// JSON blob the ingester chose to file with it (the estimate tier
+// stores the recorded run's exact Result there, so a resident trace
+// can price policy variants as deltas against a measured baseline).
+const baseSuffix = ".base.json"
 
 // NeighborhoodKey maps a canonical spec key to its library
 // neighborhood by dropping the policy segment. Policy is the one
@@ -64,6 +72,11 @@ type Library struct {
 	dir string
 	// byHood maps neighborhood key -> filename (within dir).
 	byHood map[string]string
+	// gen counts mutations (Put, Evict). Readers holding decoded
+	// copies of library traces — the estimate tier's replay cache —
+	// compare generations instead of re-reading files to notice that a
+	// resident trace changed under them.
+	gen atomic.Uint64
 }
 
 // Open opens (creating if needed) a library directory and indexes the
@@ -131,7 +144,17 @@ func (l *Library) Neighborhoods() []string {
 // surprises; a torn or footerless stream belongs in a file, not here.
 // The write is atomic (temp file + rename), so a crash mid-Put never
 // leaves a half-written library entry.
-func (l *Library) Put(data []byte) (string, error) {
+func (l *Library) Put(data []byte) (string, error) { return l.put(data, nil) }
+
+// PutWithBase is Put with a sidecar: base is an opaque JSON blob filed
+// next to the trace and returned by Trace.Base on later Gets. The
+// estimate tier stores the recorded run's exact Result here — the
+// measured baseline its replay deltas price policy variants against. A
+// plain Put (or a nil base) removes any previous sidecar, so a trace
+// and its baseline can never drift apart silently.
+func (l *Library) PutWithBase(data, base []byte) (string, error) { return l.put(data, base) }
+
+func (l *Library) put(data, base []byte) (string, error) {
 	hdr, quanta, err := trace.DecodeAll(bytes.NewReader(data))
 	if err != nil {
 		return "", fmt.Errorf("trace library: rejecting trace: %w", err)
@@ -151,26 +174,74 @@ func (l *Library) Put(data []byte) (string, error) {
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	tmp, err := os.CreateTemp(l.dir, "put-*")
+	if err := writeAtomic(l.dir, filepath.Join(l.dir, name), data); err != nil {
+		return "", err
+	}
+	basePath := filepath.Join(l.dir, baseName(hood))
+	if base != nil {
+		if err := writeAtomic(l.dir, basePath, base); err != nil {
+			return "", err
+		}
+	} else if err := os.Remove(basePath); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return "", fmt.Errorf("trace library: removing stale base: %w", err)
+	}
+	l.byHood[hood] = name
+	l.gen.Add(1)
+	return hood, nil
+}
+
+// writeAtomic lands data at path via temp file + rename, so a crash
+// mid-write never leaves a half-written library entry.
+func writeAtomic(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "put-*")
 	if err != nil {
-		return "", fmt.Errorf("trace library: %w", err)
+		return fmt.Errorf("trace library: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return "", fmt.Errorf("trace library: %w", err)
+		return fmt.Errorf("trace library: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return "", fmt.Errorf("trace library: %w", err)
+		return fmt.Errorf("trace library: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(l.dir, name)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return "", fmt.Errorf("trace library: %w", err)
+		return fmt.Errorf("trace library: %w", err)
 	}
-	l.byHood[hood] = name
-	return hood, nil
+	return nil
 }
+
+// Evict removes the trace (and any base sidecar) covering the spec
+// key's neighborhood — the drift validator's lever when a resident
+// trace's estimates no longer match live runs. ErrNotFound when the
+// library has no trace for it. Concurrent Gets that already loaded the
+// bytes keep serving their in-memory copy; Gets that lose the race to
+// the file removal report ErrNotFound, never a torn read.
+func (l *Library) Evict(specKey string) error {
+	hood := NeighborhoodKey(specKey)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	name, ok := l.byHood[hood]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, hood)
+	}
+	delete(l.byHood, hood)
+	l.gen.Add(1)
+	if err := os.Remove(filepath.Join(l.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("trace library: evicting %s: %w", hood, err)
+	}
+	if err := os.Remove(filepath.Join(l.dir, baseName(hood))); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("trace library: evicting %s base: %w", hood, err)
+	}
+	return nil
+}
+
+// Gen returns the library's mutation generation: it changes whenever a
+// Put or Evict lands. Callers caching decoded traces revalidate
+// against it instead of re-reading files.
+func (l *Library) Gen() uint64 { return l.gen.Load() }
 
 // Get loads the trace covering a spec key's neighborhood (a full
 // canonical key and a bare neighborhood key both work — the policy
@@ -185,10 +256,24 @@ func (l *Library) Get(specKey string) (*Trace, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, hood)
 	}
 	data, err := os.ReadFile(filepath.Join(l.dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		// Lost the race to a concurrent Evict between the index lookup
+		// and the read: to the caller that is a miss, not an I/O error.
+		return nil, fmt.Errorf("%w: %s (evicted)", ErrNotFound, hood)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("trace library: %w", err)
 	}
-	return Load(data)
+	tr, err := Load(data)
+	if err != nil {
+		return nil, err
+	}
+	if base, berr := os.ReadFile(filepath.Join(l.dir, baseName(hood))); berr == nil {
+		tr.base = base
+	} else if !errors.Is(berr, fs.ErrNotExist) {
+		return nil, fmt.Errorf("trace library: reading base: %w", berr)
+	}
+	return tr, nil
 }
 
 // Has reports whether a trace covers the spec key's neighborhood.
@@ -204,6 +289,12 @@ func (l *Library) Has(specKey string) bool {
 func fileName(hood string) string {
 	sum := sha256.Sum256([]byte(hood))
 	return hex.EncodeToString(sum[:12]) + traceSuffix
+}
+
+// baseName derives the sidecar name paired with fileName(hood).
+func baseName(hood string) string {
+	sum := sha256.Sum256([]byte(hood))
+	return hex.EncodeToString(sum[:12]) + baseSuffix
 }
 
 // footerOf parses the footer from a complete in-memory trace: the last
@@ -224,6 +315,7 @@ func footerOf(data []byte) (trace.Footer, bool) {
 // footer index.
 type Trace struct {
 	data []byte
+	base []byte // optional sidecar blob (nil when none was filed)
 	hdr  trace.Header
 	foot trace.Footer
 }
@@ -252,6 +344,10 @@ func (t *Trace) Footer() trace.Footer { return t.foot }
 // Bytes returns the raw trace, suitable for streaming to a client or
 // feeding to any trace reader.
 func (t *Trace) Bytes() []byte { return t.data }
+
+// Base returns the sidecar blob filed by PutWithBase, nil when the
+// trace was ingested without one.
+func (t *Trace) Base() []byte { return t.base }
 
 // Quanta returns the number of quantum records.
 func (t *Trace) Quanta() int { return t.foot.Quanta }

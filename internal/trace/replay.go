@@ -50,6 +50,19 @@ type ReplayStats struct {
 	PCMWriteLines         uint64
 	BaselinePCMWriteLines uint64
 	RecordedPCMWriteLines uint64
+	// Final-view residency: heap-group pages per emulated tier at each
+	// process's last recorded view, placed by the replayed decision
+	// history (Replayed*) vs the recorded run's own placement
+	// (Recorded*). The difference is what a policy swap shifts between
+	// tiers — the estimate-first serving tier adds it to a measured
+	// baseline Result to price residency without re-emulating. Only a
+	// cleanly terminated replay fills these; a corrupt tail leaves them
+	// zero, because a stranded delta chain has no trustworthy final
+	// view.
+	ReplayedDRAMPages uint64
+	ReplayedPCMPages  uint64
+	RecordedDRAMPages uint64
+	RecordedPCMPages  uint64
 }
 
 // PCMWriteReduction returns the estimated fraction of baseline PCM
@@ -211,6 +224,11 @@ func replayLoop(h Header, next func() (Quantum, error), pol policy.Policy, overr
 	}
 	tiers := map[groupKey]*groupTier{}
 
+	// lastView remembers each process's most recent view so a clean EOF
+	// can sum final residency per tier under the recorded vs replayed
+	// decision histories. The slices are only read, never mutated.
+	lastView := map[string][]policy.GroupStat{}
+
 	// Rollback snapshot: the stats as of the last keyframe boundary
 	// (record indexes 0, K, 2K, ...). Taken only when the source can
 	// fail mid-stream; the tier maps need no snapshot because an error
@@ -225,6 +243,21 @@ func replayLoop(h Header, next func() (Quantum, error), pol policy.Policy, overr
 		}
 		q, err := next()
 		if err == io.EOF {
+			for proc, groups := range lastView {
+				for _, g := range groups {
+					pages := uint64(g.Pages)
+					if gt, ok := tiers[groupKey{proc, g.Addr}]; ok && gt.replayed == policy.PCMNode {
+						st.ReplayedPCMPages += pages
+					} else {
+						st.ReplayedDRAMPages += pages
+					}
+					if g.Node == policy.PCMNode {
+						st.RecordedPCMPages += pages
+					} else {
+						st.RecordedDRAMPages += pages
+					}
+				}
+			}
 			return st, nil
 		}
 		if err != nil {
@@ -236,6 +269,7 @@ func replayLoop(h Header, next func() (Quantum, error), pol policy.Policy, overr
 			return st, err
 		}
 		st.Quanta++
+		lastView[q.Proc] = q.View.Groups
 
 		// Window write accounting under each placement history. The
 		// recorded view's Node is the recorded run's placement; pages

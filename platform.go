@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/estimate"
 	"repro/internal/fabric/jobs"
 	"repro/internal/jvm"
 	"repro/internal/kernel"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/store"
 	"repro/internal/trace"
+	"repro/internal/trace/library"
 	"repro/internal/workloads"
 	"repro/internal/workloads/all"
 	"repro/internal/workloads/graphchi"
@@ -163,6 +165,7 @@ type config struct {
 	policy         policy.Config
 	traceSink      io.Writer
 	obs            *obs.Telemetry
+	estimator      *estimate.Estimator
 }
 
 // defaultConfig mirrors core.DefaultOptions: emulation pipeline,
@@ -331,6 +334,37 @@ func WithTelemetry(t *obs.Telemetry) Option { return func(c *config) { c.obs = t
 // from concurrent runs would interleave. nil detaches tracing on a
 // derived platform.
 func WithTrace(w io.Writer) Option { return func(c *config) { c.traceSink = w } }
+
+// TraceLibrary is a content-addressed store of compacted placement
+// traces, one per spec neighborhood (internal/trace/library): the
+// substrate the estimate-first serving tier answers from.
+type TraceLibrary = library.Library
+
+// OpenTraceLibrary opens (creating if needed) a trace library rooted
+// at dir.
+func OpenTraceLibrary(dir string) (*TraceLibrary, error) { return library.Open(dir) }
+
+// EstimateStats snapshots the estimate tier's counters: Hits
+// (estimates served), Misses (fell through to compute), and Loads
+// (library trace decodes — concurrent estimates over one warm
+// neighborhood coalesce to a single load).
+type EstimateStats = estimate.Stats
+
+// WithTraceLibrary attaches a trace library as the platform's estimate
+// tier: Estimate answers specs whose neighborhood has a resident trace
+// by replaying the recorded views under the platform's policy instead
+// of running the emulator. The estimator (and its decoded-trace cache)
+// is created once per Option value and shared by every platform the
+// option is applied to — apply one WithTraceLibrary to the base
+// platform and derive per-policy variants from it with With, so a
+// whole grid estimates from one decode. nil detaches the tier.
+//
+// Estimates are strictly side-channel: they never enter the result
+// cache or the durable store, and Run is unaffected.
+func WithTraceLibrary(lib *TraceLibrary) Option {
+	est := estimate.New(lib)
+	return func(c *config) { c.estimator = est }
+}
 
 // Platform is a reusable, concurrent-safe experiment engine: one
 // platform configuration plus a result cache (and optional durable
@@ -629,6 +663,64 @@ func (p *Platform) Peek(spec RunSpec) (Result, bool) {
 		}
 	}
 	return Result{}, false
+}
+
+// Estimate answers a spec from the attached trace library
+// (WithTraceLibrary) without running the emulator: the recorded views
+// of the spec's library neighborhood are replayed under the platform's
+// policy configuration and mapped onto the recorded run's measured
+// baseline. Like Peek it never blocks and never computes — ok reports
+// false when no library is attached, the neighborhood has no resident
+// trace (or no baseline sidecar), or the entry cannot be replayed.
+//
+// On a hit the Result is tagged Estimated with an EstimateInfo naming
+// the source trace and the Confidence/Tolerance bound; its migration
+// fields are within EstimateTolerance of the live run (exact when the
+// replayed policy matches the recorded one). Estimated Results are
+// never cached or stored: a subsequent Run computes as usual.
+func (p *Platform) Estimate(spec RunSpec) (Result, bool) {
+	if p.cfg.estimator == nil {
+		return Result{}, false
+	}
+	spec = normalizeSpec(spec)
+	if p.validateSpec(spec) != nil {
+		return Result{}, false
+	}
+	cfg := p.cfg.policy
+	if spec.Native {
+		// Native runs ignore the policy; their keys normalize it away.
+		cfg = policy.Config{}
+	}
+	res, err := p.cfg.estimator.Estimate(p.key(spec).canonical(), cfg)
+	if err != nil {
+		return Result{}, false
+	}
+	return res, true
+}
+
+// EstimateStats snapshots the estimate tier's counters; zeros without
+// WithTraceLibrary.
+func (p *Platform) EstimateStats() EstimateStats {
+	return p.cfg.estimator.Stats()
+}
+
+// WarmTraceLibrary files a recorded trace in lib together with its
+// measured baseline Result — exactly what the server's /v1/trace
+// ingest does — so the spec's neighborhood becomes estimable, not
+// just replayable. data must be a complete recording of spec under
+// the platform's effective configuration (WithTrace), and res the
+// Result of that same traced run.
+func (p *Platform) WarmTraceLibrary(lib *TraceLibrary, spec RunSpec, res Result, data []byte) error {
+	spec = normalizeSpec(spec)
+	if err := p.validateSpec(spec); err != nil {
+		return err
+	}
+	base, err := estimate.EncodeBase(p.key(spec).canonical(), spec, res)
+	if err != nil {
+		return err
+	}
+	_, err = lib.PutWithBase(data, base)
+	return err
 }
 
 // Joinable reports whether a Run for spec would be served from the
